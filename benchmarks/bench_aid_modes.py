@@ -1,0 +1,76 @@
+"""Experiment AIDMODE: centralized registry vs distributed AID tasks (§7).
+
+The paper's prototype runs dependency tracking over PVM messages; our
+registry mode idealizes that to zero latency.  The sweep raises the
+control-plane latency and measures what distribution costs: control
+traffic, wasted speculation (victims keep computing until the NOTIFY
+lands), and end-to-end makespan — with committed output equivalence
+asserted throughout.
+"""
+
+from repro.apps.call_streaming import (
+    CallStreamConfig,
+    expected_output,
+    oneway_gateway,
+    optimistic_worker,
+    print_server,
+    worrywart,
+)
+from repro.bench import emit, format_table, sweep
+from repro.runtime import HopeSystem
+from repro.sim import ConstantLatency, LinkLatency
+
+CONTROL_LATENCIES = [0.0, 0.5, 2.0, 5.0, 10.0]
+
+
+def _run(aid_mode: str, control_latency: float):
+    config = CallStreamConfig(report_lines=(30, 70, 20, 70, 10), page_size=60)
+    links = LinkLatency(default=ConstantLatency(config.latency))
+    links.set_link("worker", "worrywart-0", ConstantLatency(config.wart_latency))
+    links.set_link("worrywart-0", "worker", ConstantLatency(config.wart_latency))
+    links.set_link("server_oneway", "server", ConstantLatency(0.0))
+    links.set_link("server", "server_oneway", ConstantLatency(0.0))
+    system = HopeSystem(
+        latency=links, aid_mode=aid_mode, control_latency=control_latency
+    )
+    system.spawn("server", print_server, config.page_size, config.server_service_time)
+    system.spawn("server_oneway", oneway_gateway)
+    system.spawn("worrywart-0", worrywart, config, config.n_reports)
+    system.spawn("worker", optimistic_worker, config)
+    makespan = system.run(max_events=2_000_000)
+    assert system.committed_outputs("server") == expected_output(config)
+    return system, makespan
+
+
+def run_latency(control_latency: float) -> dict:
+    mode = "registry" if control_latency == 0.0 else "aid_task"
+    system, makespan = _run(mode, control_latency)
+    stats = system.stats()
+    return {
+        "mode": mode,
+        "makespan": makespan,
+        "control_msgs": stats["control_messages"],
+        "wasted": stats["wasted_time"],
+        "rollbacks": stats["rollbacks"],
+    }
+
+
+def test_aid_modes(benchmark):
+    result = sweep("ctl latency", CONTROL_LATENCIES, run_latency)
+    metrics = ["mode", "makespan", "control_msgs", "wasted", "rollbacks"]
+    emit(
+        "aid_modes",
+        format_table(
+            "AIDMODE — registry vs distributed AID-task control plane "
+            "(page-full workload, output equivalence asserted)",
+            result.headers(metrics),
+            result.rows(metrics),
+        ),
+    )
+    # distribution costs messages the registry never sends
+    assert result.column("control_msgs")[0] == 0
+    assert all(c > 0 for c in result.column("control_msgs")[1:])
+    # slower control plane ⇒ no faster recovery (weakly monotone makespan)
+    spans = result.column("makespan")
+    assert spans[1] <= spans[-1]
+    benchmark(lambda: _run("aid_task", 2.0))

@@ -1,0 +1,50 @@
+"""Experiment FIG1/FIG2: the paper's Figures 1 and 2, head to head.
+
+Regenerates the implicit figure of the worked example: the pessimistic
+(Figure 1) and optimistic (Figure 2) programs run the identical report
+workload across a range of network latencies; the optimistic program
+must commit the identical server ledger while the worker's makespan
+shrinks as latency grows.
+"""
+
+from repro.apps.call_streaming import expected_output, run_optimistic, run_pessimistic
+from repro.bench import emit, format_table, speedup, streaming_config, sweep
+
+LATENCIES = [1.0, 5.0, 10.0, 25.0, 50.0, 100.0]
+
+
+def run_pair(latency: float) -> dict:
+    config = streaming_config(n_reports=10, latency=latency)
+    pess = run_pessimistic(config)
+    opt = run_optimistic(config)
+    assert pess.server_output == expected_output(config)
+    assert opt.server_output == expected_output(config)
+    return {
+        "pessimistic": pess.makespan,
+        "optimistic": opt.makespan,
+        "speedup_pct": 100.0 * speedup(pess.makespan, opt.makespan),
+        "rollbacks": opt.rollbacks,
+    }
+
+
+def build_table():
+    result = sweep("latency", LATENCIES, run_pair)
+    metrics = ["pessimistic", "optimistic", "speedup_pct", "rollbacks"]
+    return result, format_table(
+        "FIG1/FIG2 — Call Streaming: Figure 1 vs Figure 2 (10 reports)",
+        result.headers(metrics),
+        result.rows(metrics),
+    )
+
+
+def test_fig12_call_streaming(benchmark):
+    result, table = build_table()
+    emit("fig12_call_streaming", table)
+    # shape assertions: optimism wins at every latency, and the win grows
+    gains = result.column("speedup_pct")
+    assert all(g > 0 for g in gains)
+    assert gains[-1] > gains[0]
+    assert gains[-1] > 50.0
+    # wall-clock of one representative optimistic run
+    config = streaming_config(n_reports=10, latency=25.0)
+    benchmark(lambda: run_optimistic(config))

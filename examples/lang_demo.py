@@ -1,0 +1,85 @@
+"""Figure 2 written in mini-HOPE, the embedded language.
+
+The paper presents HOPE as primitives to embed in a host language; this
+demo embeds them twice — the mini-HOPE program below is a near-verbatim
+transcription of Figure 2, interpreted onto the HOPE runtime.
+
+Run:  python examples/lang_demo.py
+"""
+
+from repro.lang import compile_program
+from repro.runtime import HopeSystem
+from repro.sim import ConstantLatency
+
+SOURCE = """
+// Figure 2, transcribed: Worker + WorryWart + a print server.
+process Worker(total) {
+    var PartPage = aid_init("PartPage");
+    var Order = aid_init("Order");
+    send("worrywart", tuple(PartPage, Order, total));
+    if (guess(PartPage)) {
+        skip;                               // S2 elided optimistically
+    } else {
+        call("server", tuple("newpage"));   // S2, after a denial
+    }
+    guess(Order);
+    compute(1);
+    call("server", tuple("print", "Summary ...", 1));   // S3
+}
+
+process WorryWart(pagesize) {
+    var msg = recv();
+    var req = payload(msg);
+    var PartPage = nth(req, 0);
+    var Order = nth(req, 1);
+    var total = nth(req, 2);
+    var line = call("server", tuple("print", "Total is", total));  // S1
+    free_of(Order);
+    if (line < pagesize) {
+        affirm(PartPage);
+    } else {
+        deny(PartPage);
+    }
+}
+
+process Server(pagesize) {
+    var line = 0;
+    while (true) {
+        var msg = recv();
+        var op = payload(msg);
+        compute(0.5);
+        if (nth(op, 0) == "print") {
+            line = line + nth(op, 2);
+            emit(tuple("print", nth(op, 1), line));
+            reply(msg, line);
+        } else {
+            line = 0;
+            emit(tuple("newpage"));
+            reply(msg, 0);
+        }
+    }
+}
+"""
+
+
+def run(total_lines: int, pagesize: int) -> None:
+    compiled = compile_program(SOURCE)
+    system = HopeSystem(latency=ConstantLatency(10.0))
+    compiled.spawn(system, "server", "Server", pagesize)
+    compiled.spawn(system, "worrywart", "WorryWart", pagesize)
+    compiled.spawn(system, "worker", "Worker", total_lines)
+    system.run(max_events=500_000)
+    print(f"\n--- total={total_lines}, pagesize={pagesize} ---")
+    for op in system.committed_outputs("server"):
+        print(f"  server printed: {op}")
+    print(f"  rollbacks: {system.stats()['rollbacks']}")
+
+
+def main() -> None:
+    print("Figure 2 in mini-HOPE:")
+    run(total_lines=10, pagesize=60)     # page not full: PartPage affirmed
+    run(total_lines=70, pagesize=60)     # page full: PartPage denied, S2 runs
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Optimistic concurrency control for replicated data (§7 future work).
+
+Three clients hammer a shared counter through local caches.  The
+optimistic clients assume their cached version is current and keep
+computing; the primary validates and affirms/denies.  Compare against
+pessimistic clients that read synchronously before every update.
+
+Run:  python examples/optimistic_replication.py
+"""
+
+from repro.apps.replication import (
+    ReplicationWorkload,
+    run_optimistic_replication,
+    run_pessimistic_replication,
+)
+from repro.sim import ConstantLatency
+
+
+def main() -> None:
+    latency = ConstantLatency(15.0)
+
+    print("=== no contention (each client its own key) ===")
+    workload = ReplicationWorkload(
+        n_clients=3, ops_per_client=6, keys=("a", "b", "c")
+    )
+    opt = run_optimistic_replication(workload, latency=latency)
+    pess = run_pessimistic_replication(workload, latency=latency)
+    print(f"  optimistic : makespan {opt.makespan:8.1f}, denials {opt.denials}")
+    print(f"  pessimistic: makespan {pess.makespan:8.1f}")
+    print(f"  final cells agree: {opt.cells == pess.cells}")
+
+    print("\n=== heavy contention (one hot key) ===")
+    workload = ReplicationWorkload(n_clients=3, ops_per_client=6, keys=("hot",))
+    opt = run_optimistic_replication(workload, latency=latency)
+    pess = run_pessimistic_replication(workload, latency=latency)
+    version, value = opt.cells["hot"]
+    print(
+        f"  optimistic : makespan {opt.makespan:8.1f}, denials {opt.denials}, "
+        f"rollbacks {opt.rollbacks}"
+    )
+    print(f"  pessimistic: makespan {pess.makespan:8.1f}")
+    print(
+        f"  every op applied exactly once: "
+        f"{value == workload.total_ops} (counter = {value})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Quickstart: your first optimistic program.
+
+A worker must pick an algorithm before it knows whether a remote lock
+will be granted.  Pessimistically it would wait a full round trip.  With
+HOPE it *guesses* the lock is granted, runs the fast path speculatively,
+and the lock service later affirms (keep the work) or denies (the worker
+is automatically rolled back to the guess and takes the slow path).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import HopeSystem
+from repro.sim import ConstantLatency
+
+
+def worker(p):
+    lock = yield p.aid_init("lock-granted")
+    yield p.send("lock-service", lock)          # ask, but don't wait
+    if (yield p.guess(lock)):                   # True, speculatively
+        yield p.emit("fast path: assumed the lock is ours")
+        yield p.compute(2.0)
+    else:                                       # only after a denial
+        yield p.emit("slow path: waiting our turn")
+        yield p.compute(8.0)
+    yield p.emit("worker finished")
+    return (yield p.now())
+
+
+def lock_service(p, grant: bool):
+    msg = yield p.recv()
+    yield p.compute(3.0)                        # deciding takes a while
+    if grant:
+        yield p.affirm(msg.payload)
+    else:
+        yield p.deny(msg.payload)
+
+
+def run(grant: bool) -> None:
+    label = "GRANTED" if grant else "DENIED"
+    print(f"\n=== lock {label} ===")
+    system = HopeSystem(latency=ConstantLatency(1.0))
+    system.spawn("worker", worker)
+    system.spawn("lock-service", lock_service, grant)
+    system.run()
+    for line in system.committed_outputs("worker"):
+        print(f"  committed: {line}")
+    stats = system.stats()
+    print(
+        f"  finished at t={system.result_of('worker'):g}, "
+        f"rollbacks={stats['rollbacks']}, wasted time={stats['wasted_time']:g}"
+    )
+
+
+def main() -> None:
+    run(grant=True)    # speculation pays: fast path kept, no waiting
+    run(grant=False)   # speculation fails: automatic rollback, slow path
+    print(
+        "\nNote the denied run: the fast-path output was withdrawn by the\n"
+        "rollback and never committed — only the slow path's output counts."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Optimistic two-phase commit: don't wait for the votes.
+
+A client streams six transactions.  The optimistic coordinator answers
+before collecting votes; an abort anywhere transparently unwinds the
+client's speculative balance — including later transactions built on it.
+
+Run:  python examples/two_phase_commit.py
+"""
+
+from repro.apps.commit import CommitWorkload, run_optimistic_commit
+from repro.sim import ConstantLatency
+
+
+def show(title, plans):
+    workload = CommitWorkload(transactions=tuple(plans))
+    result = run_optimistic_commit(workload, latency=ConstantLatency(8.0))
+    print(f"\n=== {title} ===")
+    print(f"  decisions : {['commit' if d else 'ABORT' for d in result.decisions]}")
+    print(f"  final balance (100 per commit): {result.balance}")
+    print(f"  rollbacks : {result.rollbacks}")
+    for entry in result.ledger:
+        print(f"  committed : {entry}")
+
+
+def main() -> None:
+    yes = {0: True, 1: True, 2: True}
+    show("all transactions commit", [yes, yes, yes])
+    show(
+        "participant 1 vetoes the middle transaction",
+        [yes, {1: False}, yes],
+    )
+    show(
+        "cascading speculation: an early abort rewinds everything built on it",
+        [{0: False}, yes, yes],
+    )
+
+
+if __name__ == "__main__":
+    main()

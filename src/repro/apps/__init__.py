@@ -1,0 +1,41 @@
+"""Applications built on HOPE.
+
+* :mod:`repro.apps.call_streaming` — Figures 1–2: the paper's worked
+  example and the workload behind the headline performance claim;
+* :mod:`repro.apps.virtual_time` — timestamp-order processing (the §2
+  Time Warp subsumption);
+* :mod:`repro.apps.replication` — optimistic concurrency for replicated
+  data (§7 future work, [6]);
+* :mod:`repro.apps.recovery` — Strom/Yemini-style optimistic recovery
+  with crash injection (§2, [24]);
+* :mod:`repro.apps.tms` — assumption-based search / truth maintenance
+  (§7 future work, [12]);
+* :mod:`repro.apps.numerics` — optimistic numerical computation
+  (§7 future work, [7]);
+* :mod:`repro.apps.coedit` — lock-free co-operative editing
+  (§7 future work, [5]);
+* :mod:`repro.apps.commit` — optimistic two-phase commit with
+  cross-transaction speculation.
+"""
+
+from . import (
+    call_streaming,
+    coedit,
+    commit,
+    numerics,
+    recovery,
+    replication,
+    tms,
+    virtual_time,
+)
+
+__all__ = [
+    "call_streaming",
+    "virtual_time",
+    "replication",
+    "recovery",
+    "tms",
+    "numerics",
+    "coedit",
+    "commit",
+]

@@ -1,0 +1,245 @@
+"""Optimistic numerical computation (§7 future work, ref [7]).
+
+The paper's future-work list includes applying optimism to numerical
+computation.  The classic pattern: an iterative solver wants an
+aggressive parameter (fast convergence when it works, divergence when it
+doesn't), and checking stability requires an expensive remote validation.
+Pessimistically the solver validates every block of iterations before
+continuing; optimistically it *guesses* the aggressive block was stable
+and keeps iterating while a validator checks the residuals in parallel —
+a denial rolls the solver back to the block boundary, where it redoes the
+block with a safe parameter.
+
+Concretely: weighted-Jacobi iteration for ``A x = b``.  The aggressive
+relaxation ``omega_fast`` diverges on stiff systems; ``omega_safe``
+always converges (for the diagonally dominant systems we generate).  The
+validator affirms a block iff its residual shrank.
+
+Everything is deterministic: matrices come from a seeded generator, and
+the solver's arithmetic is pure, so replay-based rollback reproduces the
+block boundary exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..runtime import HopeSystem
+from ..sim import ConstantLatency, LatencyModel, Tracer
+
+
+@dataclass(frozen=True)
+class JacobiProblem:
+    """One linear system plus iteration parameters."""
+
+    a: tuple                   # row-major matrix, as nested tuples
+    b: tuple
+    omega_fast: float = 1.4    # aggressive over-relaxation
+    omega_safe: float = 0.7    # conservative under-relaxation
+    block_size: int = 4        # iterations per validation block
+    max_blocks: int = 60
+    tolerance: float = 1e-8
+    iteration_cost: float = 1.0     # virtual time per iteration
+    validate_cost: float = 3.0      # remote residual check
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return np.array(self.a, dtype=float)
+
+    @property
+    def rhs(self) -> np.ndarray:
+        return np.array(self.b, dtype=float)
+
+    def reference_solution(self) -> np.ndarray:
+        return np.linalg.solve(self.matrix, self.rhs)
+
+
+def make_problem(
+    n: int = 6,
+    seed: int = 0,
+    dominance: float = 1.5,
+    **overrides,
+) -> JacobiProblem:
+    """A random diagonally dominant system (weighted Jacobi converges for
+    omega in (0, 1]; large omega may diverge as dominance shrinks)."""
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-1.0, 1.0, size=(n, n))
+    row_sums = np.abs(a).sum(axis=1)
+    np.fill_diagonal(a, dominance * row_sums)
+    b = rng.uniform(-1.0, 1.0, size=n)
+    return JacobiProblem(
+        a=tuple(map(tuple, a)), b=tuple(b), **overrides
+    )
+
+
+def _jacobi_block(
+    a: np.ndarray, b: np.ndarray, x: np.ndarray, omega: float, steps: int
+) -> np.ndarray:
+    d = np.diag(a)
+    r = a - np.diagflat(d)
+    for _ in range(steps):
+        x = (1 - omega) * x + omega * (b - r @ x) / d
+    return x
+
+
+def _residual(a: np.ndarray, b: np.ndarray, x: np.ndarray) -> float:
+    return float(np.linalg.norm(a @ x - b))
+
+
+def solver(p, problem: JacobiProblem):
+    """Iterate in blocks; guess each aggressive block is stable."""
+    a = problem.matrix
+    b = problem.rhs
+    x = np.zeros(len(b))
+    residual = _residual(a, b, x)
+    blocks = 0
+    fast_blocks = 0
+    safe_blocks = 0
+    while residual > problem.tolerance and blocks < problem.max_blocks:
+        blocks += 1
+        stable = yield p.aid_init(f"block-{blocks}-stable")
+        yield p.send(
+            "validator",
+            ("check", stable, tuple(x), residual),
+        )
+        if (yield p.guess(stable)):
+            omega = problem.omega_fast         # optimistic: aggressive step
+            fast_blocks += 1
+        else:
+            omega = problem.omega_safe         # after a denial: safe step
+            safe_blocks += 1
+        yield p.compute(problem.iteration_cost * problem.block_size)
+        x = _jacobi_block(a, b, x, omega, problem.block_size)
+        residual = _residual(a, b, x)
+        yield p.emit(("block", blocks, omega, residual))
+    yield p.send("validator", ("done",))
+    return {
+        "x": tuple(x),
+        "residual": residual,
+        "blocks": blocks,
+        "fast_blocks": fast_blocks,
+        "safe_blocks": safe_blocks,
+    }
+
+
+def validator(p, problem: JacobiProblem):
+    """Re-runs each aggressive block remotely and checks the residual
+    shrank; affirms stability or denies it."""
+    a = problem.matrix
+    b = problem.rhs
+    while True:
+        msg = yield p.recv()
+        if msg.payload[0] == "done":
+            return None
+        _tag, stable, x_tuple, residual_before = msg.payload
+        yield p.compute(problem.validate_cost)
+        x = np.array(x_tuple)
+        x_after = _jacobi_block(a, b, x, problem.omega_fast, problem.block_size)
+        residual_after = _residual(a, b, x_after)
+        if residual_after < residual_before or residual_after < problem.tolerance:
+            yield p.affirm(stable)
+        else:
+            yield p.deny(stable)
+
+
+def pessimistic_solver(p, problem: JacobiProblem):
+    """Validate-before-continue: the same decisions, serialized."""
+    from ..runtime import call
+
+    a = problem.matrix
+    b = problem.rhs
+    x = np.zeros(len(b))
+    residual = _residual(a, b, x)
+    blocks = 0
+    corr = 0
+    while residual > problem.tolerance and blocks < problem.max_blocks:
+        blocks += 1
+        ok = yield from call(p, "validator_rpc", (tuple(x), residual), corr)
+        corr += 1
+        omega = problem.omega_fast if ok else problem.omega_safe
+        yield p.compute(problem.iteration_cost * problem.block_size)
+        x = _jacobi_block(a, b, x, omega, problem.block_size)
+        residual = _residual(a, b, x)
+        yield p.emit(("block", blocks, omega, residual))
+    return {"x": tuple(x), "residual": residual, "blocks": blocks}
+
+
+def rpc_validator(p, problem: JacobiProblem):
+    a = problem.matrix
+    b = problem.rhs
+    while True:
+        msg = yield p.recv()
+        x_tuple, residual_before = msg.payload.body
+        yield p.compute(problem.validate_cost)
+        x_after = _jacobi_block(
+            a, b, np.array(x_tuple), problem.omega_fast, problem.block_size
+        )
+        residual_after = _residual(a, b, x_after)
+        ok = residual_after < residual_before or residual_after < problem.tolerance
+        yield p.reply(msg, ok)
+
+
+@dataclass
+class JacobiResult:
+    makespan: float
+    x: tuple = ()
+    residual: float = float("inf")
+    blocks: int = 0
+    rollbacks: int = 0
+    stats: dict = field(default_factory=dict)
+
+    def error_vs(self, reference: np.ndarray) -> float:
+        return float(np.linalg.norm(np.array(self.x) - reference))
+
+
+def run_optimistic_jacobi(
+    problem: JacobiProblem,
+    latency: Optional[LatencyModel] = None,
+    seed: int = 0,
+    trace: Optional[Tracer] = None,
+) -> JacobiResult:
+    system = HopeSystem(
+        seed=seed,
+        latency=latency if latency is not None else ConstantLatency(5.0),
+        trace=trace,
+    )
+    system.spawn("validator", validator, problem)
+    system.spawn("solver", solver, problem)
+    makespan = system.run(max_events=5_000_000)
+    outcome = system.result_of("solver")
+    stats = system.stats()
+    return JacobiResult(
+        makespan=makespan,
+        x=outcome["x"],
+        residual=outcome["residual"],
+        blocks=outcome["blocks"],
+        rollbacks=stats["rollbacks"],
+        stats=stats,
+    )
+
+
+def run_pessimistic_jacobi(
+    problem: JacobiProblem,
+    latency: Optional[LatencyModel] = None,
+    seed: int = 0,
+) -> JacobiResult:
+    system = HopeSystem(
+        seed=seed,
+        latency=latency if latency is not None else ConstantLatency(5.0),
+    )
+    system.spawn("validator_rpc", rpc_validator, problem)
+    system.spawn("solver", pessimistic_solver, problem)
+    makespan = system.run(max_events=5_000_000)
+    outcome = system.result_of("solver")
+    stats = system.stats()
+    return JacobiResult(
+        makespan=makespan,
+        x=outcome["x"],
+        residual=outcome["residual"],
+        blocks=outcome["blocks"],
+        rollbacks=stats["rollbacks"],
+        stats=stats,
+    )

@@ -1,0 +1,194 @@
+"""Optimistic concurrency control of replicated data (§7 future work, [6]).
+
+"A local cached replica of a piece of data can greatly reduce the latency
+of access to that data, and optimistically assuming consistency can
+reduce the latency of updating replicated data."
+
+The encoding:
+
+* a **primary** owns versioned cells; an update request carries the
+  client's cached base version and an AID;
+* the primary validates *before* applying: version match ⇒ apply and
+  ``affirm``; stale base ⇒ ``deny`` plus a fresh copy in the denial's
+  wake;
+* a **client** sends the update, guesses the AID, and keeps computing on
+  the optimistically-updated cache.  A denial rolls the client back to
+  the guess; the False branch refreshes the cache with a synchronous read
+  and retries with a new AID — the classic optimistic-concurrency retry
+  loop, except the dependency tracking and rollback of everything built
+  on the stale value is automatic.
+
+The pessimistic comparator locks by reading synchronously before every
+update (two round trips per op even without contention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..runtime import HopeSystem, call
+from ..sim import ConstantLatency, LatencyModel, Tracer
+
+
+@dataclass(frozen=True)
+class ReplicationWorkload:
+    """Each client applies ``ops_per_client`` increments onto cells.
+
+    ``assignment`` controls the access pattern: ``"rotate"`` walks every
+    client over all keys (interleaved sharing), ``"fixed"`` pins client
+    *i* to ``keys[i % len(keys)]`` (no sharing when there are enough
+    keys).
+    """
+
+    n_clients: int = 2
+    ops_per_client: int = 5
+    keys: tuple = ("k",)
+    client_compute: float = 1.0
+    assignment: str = "rotate"
+
+    def key_for(self, client: int, op: int) -> str:
+        if self.assignment == "fixed":
+            return self.keys[client % len(self.keys)]
+        return self.keys[(client + op) % len(self.keys)]
+
+    @property
+    def total_ops(self) -> int:
+        return self.n_clients * self.ops_per_client
+
+
+def primary(p):
+    """The authoritative store: validate-then-apply, affirm or deny."""
+    cells: dict[str, tuple[int, int]] = {}        # key -> (version, value)
+    while True:
+        msg = yield p.recv()
+        request = msg.payload.body
+        op = request[0]
+        if op == "update":
+            _op, key, base_version, delta, aid = request
+            version, value = cells.get(key, (0, 0))
+            if base_version == version:
+                cells[key] = (version + 1, value + delta)
+                yield p.emit(("applied", key, version + 1, value + delta))
+                yield p.reply(msg, ("ok", version + 1))
+                yield p.affirm(aid)
+            else:
+                yield p.reply(msg, ("stale", version, value))
+                yield p.deny(aid)
+        elif op == "read":
+            _op, key = request
+            version, value = cells.get(key, (0, 0))
+            yield p.reply(msg, (version, value))
+        else:
+            raise ValueError(f"unknown primary op {op!r}")
+
+
+def optimistic_client(p, workload: ReplicationWorkload, client_id: int):
+    """Update through the cache, guess success, retry on denial."""
+    cache: dict[str, tuple[int, int]] = {}        # key -> (version, value)
+    corr = 0
+    done = 0
+    for op_index in range(workload.ops_per_client):
+        key = workload.key_for(client_id, op_index)
+        while True:
+            version, value = cache.get(key, (0, 0))
+            aid = yield p.aid_init(f"occ-{client_id}-{op_index}")
+            yield p.send(
+                "primary",
+                _rpc(p, ("update", key, version, 1, aid), corr),
+            )
+            corr += 1
+            if (yield p.guess(aid)):
+                # Optimistically assume the update landed: bump the cache
+                # and move on without waiting for the primary.
+                cache[key] = (version + 1, value + 1)
+                yield p.emit(("did", key, op_index))
+                break
+            # Denied: our base version was stale.  Refresh and retry.
+            fresh_version, fresh_value = yield from call(
+                p, "primary", ("read", key), corr
+            )
+            corr += 1
+            cache[key] = (fresh_version, fresh_value)
+        done += 1
+        yield p.compute(workload.client_compute)
+    return done
+
+
+def pessimistic_client(p, workload: ReplicationWorkload, client_id: int):
+    """Read synchronously before every update; retry on races."""
+    corr = 0
+    for op_index in range(workload.ops_per_client):
+        key = workload.key_for(client_id, op_index)
+        while True:
+            version, value = yield from call(p, "primary", ("read", key), corr)
+            corr += 1
+            aid = yield p.aid_init(f"pess-{client_id}-{op_index}")
+            reply = yield from call(
+                p, "primary", ("update", key, version, 1, aid), corr
+            )
+            corr += 1
+            if reply[0] == "ok":
+                yield p.emit(("did", key, op_index))
+                break
+        yield p.compute(workload.client_compute)
+
+
+def _rpc(p, body, corr):
+    from ..runtime.messages import RpcRequest
+
+    return RpcRequest(body, p.name, corr)
+
+
+@dataclass
+class ReplicationResult:
+    makespan: float
+    cells: dict = field(default_factory=dict)
+    applied: int = 0
+    denials: int = 0
+    rollbacks: int = 0
+    stats: dict = field(default_factory=dict)
+
+
+def _run(client_fn, workload: ReplicationWorkload, latency, seed, trace) -> ReplicationResult:
+    system = HopeSystem(
+        seed=seed,
+        latency=latency if latency is not None else ConstantLatency(5.0),
+        trace=trace,
+    )
+    system.spawn("primary", primary)
+    for c in range(workload.n_clients):
+        system.spawn(f"client-{c}", client_fn, workload, c)
+    makespan = system.run(max_events=5_000_000)
+    ledger = system.committed_outputs("primary")
+    applied = [entry for entry in ledger if entry[0] == "applied"]
+    cells: dict[str, tuple[int, int]] = {}
+    for _tag, key, version, value in applied:
+        cells[key] = (version, value)
+    stats = system.stats()
+    return ReplicationResult(
+        makespan=makespan,
+        cells=cells,
+        applied=len(applied),
+        denials=stats["denies"],
+        rollbacks=stats["rollbacks"],
+        stats=stats,
+    )
+
+
+def run_optimistic_replication(
+    workload: ReplicationWorkload,
+    latency: Optional[LatencyModel] = None,
+    seed: int = 0,
+    trace: Optional[Tracer] = None,
+) -> ReplicationResult:
+    return _run(optimistic_client, workload, latency, seed, trace)
+
+
+def run_pessimistic_replication(
+    workload: ReplicationWorkload,
+    latency: Optional[LatencyModel] = None,
+    seed: int = 0,
+    trace: Optional[Tracer] = None,
+) -> ReplicationResult:
+    return _run(pessimistic_client, workload, latency, seed, trace)

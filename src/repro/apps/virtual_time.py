@@ -1,0 +1,191 @@
+"""Timestamp-order processing expressed in HOPE — the §2 subsumption claim.
+
+Time Warp hard-wires one optimistic assumption: "messages arrive at each
+process in time-stamp order" [17].  The paper argues HOPE subsumes it,
+because that assumption is just one more thing an AID can stand for.
+This module demonstrates the encoding:
+
+* each **sender** streams virtual-time-stamped jobs (its own stream is
+  vt-ordered; the *physical* network may still interleave and reorder
+  across senders);
+* the **receiver** applies jobs optimistically in arrival order, guarding
+  every applied job with an AID ``order@vt`` = "no job with a smaller vt
+  is still coming";
+* when a straggler arrives, the receiver **denies** the earliest violated
+  guard — HOPE rolls the receiver back to that guess point (and withdraws
+  any outputs), after which the re-execution drains the redelivered
+  messages, sorts the batch, and re-applies in order;
+* when every sender's ``DONE`` marker is in, the receiver affirms the
+  surviving guards oldest-first, committing the ledger.
+
+The fold applied to jobs is deliberately non-commutative, so any
+order-processing mistake corrupts the final state instead of hiding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..runtime import HopeSystem
+from ..sim import TIMED_OUT, LatencyModel, Tracer
+
+#: tag of the payload closing a sender's stream: ("__done__", job_count).
+#: The count makes termination robust to jitter — a DONE marker may
+#: physically overtake its own stream's last jobs.
+DONE_TAG = "__done__"
+
+
+def _is_done(payload) -> bool:
+    return isinstance(payload, tuple) and payload and payload[0] == DONE_TAG
+
+
+def fold(state: int, vt: float, value: int) -> int:
+    """A non-commutative, order-sensitive accumulator."""
+    return (state * 31 + int(round(vt * 1000)) * 7 + value) % 1_000_003
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of work: apply ``value`` at virtual time ``vt``."""
+
+    vt: float
+    value: int
+
+
+@dataclass(frozen=True)
+class VtWorkload:
+    """Per-sender job streams (each stream must be vt-ascending) and the
+    per-job physical send spacing."""
+
+    streams: tuple            # tuple of tuples of Job
+    send_spacing: float = 1.0
+
+    @property
+    def all_jobs(self) -> list:
+        jobs = [job for stream in self.streams for job in stream]
+        return sorted(jobs, key=lambda j: j.vt)
+
+    def reference_state(self) -> int:
+        """The oracle: fold all jobs in global vt order."""
+        state = 0
+        for job in self.all_jobs:
+            state = fold(state, job.vt, job.value)
+        return state
+
+    def reference_ledger(self) -> list:
+        state = 0
+        ledger = []
+        for job in self.all_jobs:
+            state = fold(state, job.vt, job.value)
+            ledger.append((job.vt, state))
+        return ledger
+
+
+def vt_sender(p, receiver: str, jobs: tuple, spacing: float):
+    """Stream jobs (vt-ascending) with fixed physical spacing, then a DONE
+    marker carrying the stream's job count."""
+    last_vt = float("-inf")
+    for job in jobs:
+        if job.vt <= last_vt:
+            raise ValueError(f"sender {p.name} stream not vt-ascending at {job.vt}")
+        last_vt = job.vt
+        yield p.send(receiver, ("job", job.vt, job.value))
+        yield p.compute(spacing)
+    yield p.send(receiver, (DONE_TAG, len(jobs)))
+
+
+def vt_receiver(p, n_senders: int):
+    """Apply jobs in virtual-time order, optimistically (see module doc)."""
+    state = 0
+    guards = []          # [(vt, aid)] for applied-but-unconfirmed jobs
+    pending = []         # [(vt, value)] sorted batch awaiting application
+    done_count = 0
+    expected_jobs = 0    # sum of counts announced by DONE markers
+
+    def note(payload):
+        nonlocal done_count, expected_jobs
+        if _is_done(payload):
+            done_count += 1
+            expected_jobs += payload[1]
+        else:
+            _tag, vt, value = payload
+            pending.append((vt, value))
+
+    while done_count < n_senders or len(guards) < expected_jobs or pending:
+        if not pending:
+            msg = yield p.recv()
+            note(msg.payload)
+        # opportunistically drain everything already delivered, then sort.
+        # After a rollback this also picks up the requeued batch (straggler
+        # included) before anything is re-applied.
+        while True:
+            extra = yield p.recv(timeout=0.0)
+            if extra is TIMED_OUT:
+                break
+            note(extra.payload)
+        pending.sort()
+        if not pending:
+            continue
+        vt, value = pending.pop(0)
+        if guards and vt < guards[-1][0]:
+            # Straggler: some applied job should have waited.  Deny the
+            # earliest violated guard; HOPE rolls the receiver back to that
+            # guess point and redelivers everything applied since.
+            for g_vt, g_aid in guards:
+                if g_vt > vt:
+                    yield p.deny(g_aid)
+                    raise AssertionError(
+                        "unreachable: the denying incarnation is rolled back"
+                    )
+        guard = yield p.aid_init(f"order@{vt:g}")
+        if (yield p.guess(guard)):
+            state = fold(state, vt, value)
+            yield p.emit((vt, state))
+            guards.append((vt, guard))
+        else:
+            # Our own guard was denied: this job must be re-sequenced
+            # against the redelivered batch; the loop-top drain collects it.
+            pending.append((vt, value))
+    # Every announced job is applied and no straggler can be outstanding:
+    # the surviving order assumptions hold — affirm oldest-first.
+    for _vt, guard in guards:
+        yield p.affirm(guard)
+    return state
+
+
+@dataclass
+class VtRunResult:
+    """Outcome of a HOPE-order run, comparable with Time Warp stats."""
+
+    makespan: float
+    final_state: int = 0
+    ledger: list = field(default_factory=list)
+    rollbacks: int = 0
+    messages: int = 0
+    stats: dict = field(default_factory=dict)
+
+
+def run_hope_order(
+    workload: VtWorkload,
+    latency: Optional[LatencyModel] = None,
+    seed: int = 0,
+    trace: Optional[Tracer] = None,
+) -> VtRunResult:
+    """Run the workload through the HOPE receiver; returns results + stats."""
+    system = HopeSystem(seed=seed, latency=latency, trace=trace)
+    system.spawn("receiver", vt_receiver, len(workload.streams))
+    for index, stream in enumerate(workload.streams):
+        system.spawn(
+            f"sender-{index}", vt_sender, "receiver", stream, workload.send_spacing
+        )
+    makespan = system.run(max_events=2_000_000)
+    stats = system.stats()
+    return VtRunResult(
+        makespan=makespan,
+        final_state=system.result_of("receiver"),
+        ledger=system.committed_outputs("receiver"),
+        rollbacks=stats["rollbacks"],
+        messages=stats["messages_sent"],
+        stats=stats,
+    )

@@ -1,0 +1,37 @@
+"""Baselines the paper positions HOPE against (§2).
+
+* :mod:`repro.baselines.pessimistic` — Figure 1 semantics: synchronous
+  RPCs, no speculation, plus the closed-form latency model;
+* :mod:`repro.baselines.static_scope` — Bubenik/Zwaenepoel-style
+  statically-bounded optimism [2, 3]: speculation that cannot cross a
+  process boundary;
+* :mod:`repro.baselines.timewarp` — Jefferson's Time Warp [16, 17]: the
+  single hard-wired message-order assumption, with anti-messages and GVT.
+"""
+
+from .pessimistic import RpcChain, RpcStep, predict_completion, run_chain
+from .static_scope import run_static_scope, static_scope_wart, static_scope_worker
+from .timewarp import (
+    Emission,
+    GvtManager,
+    LogicalProcess,
+    SequentialOracle,
+    TimeWarpEngine,
+    TWMessage,
+)
+
+__all__ = [
+    "RpcChain",
+    "RpcStep",
+    "predict_completion",
+    "run_chain",
+    "run_static_scope",
+    "static_scope_worker",
+    "static_scope_wart",
+    "TWMessage",
+    "LogicalProcess",
+    "Emission",
+    "TimeWarpEngine",
+    "GvtManager",
+    "SequentialOracle",
+]

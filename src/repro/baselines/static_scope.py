@@ -1,0 +1,96 @@
+"""Statically-scoped optimism — the Bubenik/Zwaenepoel-style baseline [2, 3].
+
+Related work (§2): prior optimistic-programming systems confined
+speculation to a pre-declared encapsulation, so "dependency tracking is
+not necessary, but ... the range of computation based on an optimistic
+assumption is statically bound".  Concretely: a process may compute ahead
+inside the scope, but **externally visible effects (message sends) are
+buffered until the assumption is verified** — speculation never crosses a
+process boundary.
+
+This module implements that discipline as a restricted worker for the
+call-streaming scenario: the worker guesses PartPage and prepares S3
+locally, but holds S3's send until the WorryWart's verdict arrives.  The
+STATIC benchmark then shows the cost of the restriction: HOPE overlaps
+the *remote* latency of S3 with verification, the static scope can
+overlap only the local preparation.
+"""
+
+from __future__ import annotations
+
+from ..apps.call_streaming import (
+    CallStreamConfig,
+    CallStreamResult,
+    print_server,
+)
+from ..runtime import HopeSystem, call
+from ..runtime.messages import RpcReply
+from ..sim import ConstantLatency, LinkLatency, Span
+
+
+def static_scope_worker(p, config: CallStreamConfig):
+    """The Figure 2 worker under the static-scope restriction.
+
+    Inside the scope (between guess and verdict) the worker may compute —
+    so summary preparation overlaps verification — but the S3 send is
+    buffered; it is released (or redone pessimistically) only once the
+    verdict message arrives.  No AIDs are needed: nothing speculative
+    ever escapes the process, which is exactly the baseline's point.
+    """
+    corr = 0
+    for index, nlines in enumerate(config.report_lines):
+        yield p.compute(config.local_compute)
+        wart = f"worrywart-{index % config.n_warts}"
+        yield p.send(wart, (index, nlines))
+        # --- begin static speculative scope (local effects only) ---
+        yield p.compute(config.prep_for(index))          # prepare S3 locally
+        buffered_s3 = ("print", f"summary-{index}", config.summary_lines)
+        # --- end of scope: wait for the verdict before any send escapes ---
+        verdict = yield p.recv(
+            predicate=lambda m: not isinstance(m.payload, RpcReply)
+        )
+        page_full = verdict.payload
+        if page_full:
+            yield from call(p, "server", ("newpage",), corr)
+            corr += 1
+        yield from call(p, "server", buffered_s3, corr)
+        corr += 1
+
+
+def static_scope_wart(p, config: CallStreamConfig, expected_reports: int):
+    """Runs S1 and reports the verdict back to the worker (no AIDs)."""
+    corr = 0
+    for _ in range(expected_reports):
+        msg = yield p.recv(predicate=lambda m: not isinstance(m.payload, RpcReply))
+        index, nlines = msg.payload
+        line = yield from call(p, "server", ("print", f"total-{index}", nlines), corr)
+        corr += 1
+        yield p.send("worker", line > config.page_size)
+
+
+def run_static_scope(config: CallStreamConfig, seed: int = 0) -> CallStreamResult:
+    """Run the statically-scoped variant; comparable to run_optimistic."""
+    links = LinkLatency(default=ConstantLatency(config.latency))
+    for w in range(config.n_warts):
+        wart = f"worrywart-{w}"
+        links.set_link("worker", wart, ConstantLatency(config.wart_latency))
+        links.set_link(wart, "worker", ConstantLatency(config.wart_latency))
+    system = HopeSystem(seed=seed, latency=links)
+    system.spawn("server", print_server, config.page_size, config.server_service_time)
+    for w in range(config.n_warts):
+        expected = len(range(w, config.n_reports, config.n_warts))
+        system.spawn(f"worrywart-{w}", static_scope_wart, config, expected)
+    system.spawn("worker", static_scope_worker, config)
+    makespan = system.run()
+    stats = system.stats()
+    worker_tl = system.timeline.process("worker")
+    return CallStreamResult(
+        makespan=makespan,
+        server_output=system.committed_outputs("server"),
+        worker_busy=worker_tl.total(Span.BUSY),
+        worker_blocked=worker_tl.total(Span.BLOCKED),
+        wasted_time=stats["wasted_time"],
+        rollbacks=stats["rollbacks"],
+        messages=stats["messages_sent"],
+        stats=stats,
+    )

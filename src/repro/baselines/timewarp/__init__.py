@@ -1,0 +1,24 @@
+"""Time Warp (Jefferson's virtual time) — the related-work baseline [16, 17].
+
+HOPE's claim (§2) is that Time Warp is the special case of one hard-wired
+optimistic assumption: "messages arrive in timestamp order".  This package
+implements the genuine article — input/output queues, anti-messages,
+exact GVT, fossil collection — so the TW benchmark can compare it against
+the same assumption expressed in HOPE primitives.
+"""
+
+from .antimessage import TWMessage
+from .engine import TimeWarpEngine
+from .gvt import GvtManager
+from .lp import Emission, LogicalProcess, MIN_KEY
+from .oracle import SequentialOracle
+
+__all__ = [
+    "TWMessage",
+    "LogicalProcess",
+    "Emission",
+    "TimeWarpEngine",
+    "GvtManager",
+    "SequentialOracle",
+    "MIN_KEY",
+]

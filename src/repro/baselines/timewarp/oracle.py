@@ -1,0 +1,51 @@
+"""Sequential reference execution for Time Warp workloads.
+
+Processes every event in global virtual-time order on one thread — the
+trivially correct semantics any optimistic execution must reproduce.
+Used by tests (equivalence) and benchmarks (speed comparison baseline).
+"""
+
+from __future__ import annotations
+
+import copy
+import heapq
+import itertools
+from typing import Any
+
+from .lp import Handler
+
+
+class SequentialOracle:
+    """Run the same handlers and injections as a :class:`TimeWarpEngine`,
+    but conservatively: one global event queue in (vt, seq) order."""
+
+    def __init__(self) -> None:
+        self.handlers: dict[str, Handler] = {}
+        self.states: dict[str, dict] = {}
+        self._heap: list[tuple[float, int, str, Any]] = []
+        self._seq = itertools.count()
+        self.events_processed = 0
+
+    def add_lp(self, name: str, handler: Handler, initial_state: dict) -> None:
+        self.handlers[name] = handler
+        self.states[name] = copy.deepcopy(initial_state)
+
+    def inject(self, dst: str, recv_vt: float, payload: Any) -> None:
+        heapq.heappush(self._heap, (recv_vt, next(self._seq), dst, payload))
+
+    def run(self, until_vt: float = float("inf"), max_events: int = 1_000_000) -> None:
+        while self._heap:
+            vt, _seq, dst, payload = heapq.heappop(self._heap)
+            if vt > until_vt:
+                break
+            self.events_processed += 1
+            if self.events_processed > max_events:
+                raise RuntimeError(f"oracle exceeded {max_events} events")
+            emissions = self.handlers[dst](self.states[dst], vt, payload)
+            for emission in emissions:
+                if emission.delay_vt <= 0:
+                    raise ValueError("non-positive virtual delay")
+                self.inject(emission.dst, vt + emission.delay_vt, emission.payload)
+
+    def final_states(self) -> dict[str, dict]:
+        return self.states

@@ -1,0 +1,29 @@
+"""Benchmark support: workload generators, sweeps, tables, statistics."""
+
+from .reporting import emit, format_table, results_dir
+from .stats import find_crossover, mean, percentile, speedup
+from .sweeps import SweepResult, sweep
+from .workloads import (
+    build_tw_ring,
+    counting_ring_handler,
+    probabilistic_config,
+    streaming_config,
+    vt_workload,
+)
+
+__all__ = [
+    "sweep",
+    "SweepResult",
+    "format_table",
+    "emit",
+    "results_dir",
+    "mean",
+    "speedup",
+    "percentile",
+    "find_crossover",
+    "streaming_config",
+    "probabilistic_config",
+    "vt_workload",
+    "build_tw_ring",
+    "counting_ring_handler",
+]

@@ -1,0 +1,58 @@
+"""Plain-text tables and series for benchmark output.
+
+Every experiment prints the rows it regenerates (the analogue of the
+paper's figures) and can persist them under ``benchmarks/results/`` so
+EXPERIMENTS.md can quote exact numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+
+def format_value(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render an aligned ASCII table with a title rule."""
+    rendered = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rendered:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def results_dir() -> str:
+    """The directory benchmark tables are persisted into."""
+    here = os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(__file__))))
+    path = os.path.join(here, "benchmarks", "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def emit(name: str, text: str, echo: bool = True) -> str:
+    """Print a table and persist it to ``benchmarks/results/<name>.txt``."""
+    if echo:
+        print()
+        print(text)
+    path = os.path.join(results_dir(), f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+    return path

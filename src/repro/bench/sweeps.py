@@ -1,0 +1,56 @@
+"""Parameter sweeps: the generic engine behind every figure-style bench."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+
+@dataclass
+class SweepResult:
+    """One swept table: parameter values and per-metric series."""
+
+    parameter: str
+    values: list = field(default_factory=list)
+    series: dict = field(default_factory=dict)     # metric -> list
+
+    def column(self, metric: str) -> list:
+        return self.series[metric]
+
+    def rows(self, metrics: Sequence[str]) -> list:
+        out = []
+        for index, value in enumerate(self.values):
+            out.append([value] + [self.series[m][index] for m in metrics])
+        return out
+
+    def headers(self, metrics: Sequence[str]) -> list:
+        return [self.parameter] + list(metrics)
+
+
+def sweep(
+    parameter: str,
+    values: Sequence,
+    run: Callable[[object], dict],
+) -> SweepResult:
+    """Run ``run(value)`` for each value; collect the returned metric dicts.
+
+    Every invocation must return the same metric keys; missing keys are a
+    harness bug and raise immediately rather than producing ragged tables.
+    """
+    result = SweepResult(parameter=parameter)
+    keys: list[str] | None = None
+    for value in values:
+        metrics = run(value)
+        if keys is None:
+            keys = list(metrics)
+            for key in keys:
+                result.series[key] = []
+        elif list(metrics) != keys:
+            raise ValueError(
+                f"sweep metrics changed at {parameter}={value!r}: "
+                f"{list(metrics)} != {keys}"
+            )
+        result.values.append(value)
+        for key in keys:
+            result.series[key].append(metrics[key])
+    return result

@@ -1,0 +1,116 @@
+"""Workload generators shared by the benchmark suite."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..apps.call_streaming import CallStreamConfig
+from ..apps.virtual_time import Job, VtWorkload
+from ..baselines.timewarp import Emission
+from ..sim import RandomStreams
+
+
+def streaming_config(
+    n_reports: int = 10,
+    latency: float = 25.0,
+    page_size: int = 10_000,
+    n_warts: Optional[int] = None,
+    local_compute: float = 1.0,
+    summary_prep: float = 2.0,
+    rollback_overhead: float = 0.0,
+) -> CallStreamConfig:
+    """A happy-path call-streaming workload (pages never fill)."""
+    if n_warts is None:
+        n_warts = n_reports           # fully pipelined verification
+    return CallStreamConfig(
+        report_lines=tuple([10] * n_reports),
+        page_size=page_size,
+        latency=latency,
+        n_warts=n_warts,
+        local_compute=local_compute,
+        summary_prep=summary_prep,
+        rollback_overhead=rollback_overhead,
+    )
+
+
+def probabilistic_config(
+    n_reports: int,
+    success_probability: float,
+    seed: int = 0,
+    latency: float = 25.0,
+    rollback_overhead: float = 0.0,
+    n_warts: Optional[int] = None,
+) -> CallStreamConfig:
+    """A call-streaming workload where each report fills the page (the
+    PartPage assumption fails) with probability ``1 - success_probability``.
+
+    Report heights are derived by tracking the server's line counter, so
+    each report's outcome is exactly the drawn one regardless of history:
+    successes add a single line; failures add exactly enough to exceed
+    the page (which then resets via S2's newpage).
+    """
+    if not 0.0 <= success_probability <= 1.0:
+        raise ValueError(f"probability must be in [0,1], got {success_probability}")
+    page_size = max(1000, 4 * n_reports)
+    summary_lines = 1
+    stream = RandomStreams(seed)["pageload"]
+    lines = []
+    line = 0
+    for _ in range(n_reports):
+        if stream.bernoulli(success_probability):
+            lines.append(1)                       # line stays within the page
+            line += 1 + summary_lines
+        else:
+            lines.append(page_size - line + 10)   # exceeds: S2 fires
+            line = summary_lines                  # newpage, then the summary
+    if n_warts is None:
+        n_warts = n_reports
+    return CallStreamConfig(
+        report_lines=tuple(lines),
+        page_size=page_size,
+        summary_lines=summary_lines,
+        latency=latency,
+        n_warts=n_warts,
+        rollback_overhead=rollback_overhead,
+    )
+
+
+def vt_workload(
+    n_senders: int,
+    jobs_per_sender: int,
+    vt_step: float = 3.0,
+    spacing: float = 1.5,
+) -> VtWorkload:
+    """Interleaved timestamp streams for the Time Warp comparison."""
+    streams = []
+    for s in range(n_senders):
+        jobs = tuple(
+            Job(0.5 + s * (vt_step / (n_senders + 1)) + vt_step * i, s * 1000 + i)
+            for i in range(jobs_per_sender)
+        )
+        streams.append(jobs)
+    return VtWorkload(streams=tuple(streams), send_spacing=spacing)
+
+
+def counting_ring_handler(state, vt, payload):
+    """The Time Warp ring workload handler (pure & deterministic)."""
+    state["count"] += 1
+    state["checksum"] = (state["checksum"] * 131 + int(vt * 100) + payload) % 999_983
+    hops = payload
+    if hops > 0:
+        return [Emission(state["next"], state["delay"], hops - 1)]
+    return []
+
+
+def build_tw_ring(engine_or_oracle, n_lps: int, hops: int, delay: float = 1.7) -> None:
+    """Install the counting ring on a TimeWarpEngine or SequentialOracle."""
+    names = [f"lp{i}" for i in range(n_lps)]
+    for index, name in enumerate(names):
+        state = {
+            "count": 0,
+            "checksum": 7,
+            "next": names[(index + 1) % n_lps],
+            "delay": delay,
+        }
+        engine_or_oracle.add_lp(name, counting_ring_handler, state)
+    engine_or_oracle.inject("lp0", 1.0, hops)

@@ -1,0 +1,174 @@
+"""Command-line interface: check and run mini-HOPE programs.
+
+Usage::
+
+    python -m repro check program.hope
+    python -m repro run program.hope \\
+        --spawn server=Server:[60] \\
+        --spawn worker=Worker:[10] \\
+        --latency 5 --seed 1 --trace
+
+``--spawn`` may repeat; its value is ``instance=Process:json_args`` where
+``json_args`` is a JSON array of arguments passed to the process (default
+``[]``).  Spawns happen in the order given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from .lang import CheckError, check_program, compile_program, parse
+from .runtime import HopeSystem
+from .sim import ConstantLatency, Tracer
+
+
+class SpawnSpec:
+    """One --spawn argument: instance=Process:json_args."""
+
+    def __init__(self, raw: str) -> None:
+        try:
+            instance, rest = raw.split("=", 1)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"--spawn needs instance=Process[:json_args], got {raw!r}"
+            )
+        if ":" in rest:
+            process, args_text = rest.split(":", 1)
+            try:
+                args = json.loads(args_text)
+            except json.JSONDecodeError as exc:
+                raise argparse.ArgumentTypeError(
+                    f"bad JSON args in --spawn {raw!r}: {exc}"
+                )
+            if not isinstance(args, list):
+                raise argparse.ArgumentTypeError(
+                    f"--spawn args must be a JSON array, got {args_text!r}"
+                )
+        else:
+            process, args = rest, []
+        self.instance = instance
+        self.process = process
+        self.args = args
+
+    def __repr__(self) -> str:
+        return f"SpawnSpec({self.instance}={self.process}:{self.args})"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HOPE: run or check mini-HOPE programs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="statically check a program")
+    check.add_argument("path", help="mini-HOPE source file")
+
+    run = sub.add_parser("run", help="run a program on the HOPE runtime")
+    run.add_argument("path", help="mini-HOPE source file")
+    run.add_argument(
+        "--spawn",
+        action="append",
+        type=SpawnSpec,
+        default=[],
+        metavar="instance=Process[:json_args]",
+        help="spawn a process instance (repeatable, in order)",
+    )
+    run.add_argument("--latency", type=float, default=1.0, help="network latency")
+    run.add_argument("--seed", type=int, default=0, help="root random seed")
+    run.add_argument(
+        "--until", type=float, default=None, help="stop at this virtual time"
+    )
+    run.add_argument(
+        "--max-events", type=int, default=1_000_000, help="livelock guard"
+    )
+    run.add_argument(
+        "--trace", action="store_true", help="print the event trace at the end"
+    )
+    run.add_argument(
+        "--aid-mode",
+        choices=["registry", "aid_task"],
+        default="registry",
+        help="dependency-tracking control plane",
+    )
+    return parser
+
+
+def cmd_check(path: str, out) -> int:
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+    try:
+        program = parse(source)
+    except SyntaxError as exc:
+        print(f"syntax error: {exc}", file=out)
+        return 2
+    report = check_program(program)
+    for warning in report.warnings:
+        print(f"warning: {warning}", file=out)
+    for error in report.errors:
+        print(f"error: {error}", file=out)
+    if report.ok:
+        print(f"{path}: OK ({len(program.processes)} process(es))", file=out)
+        return 0
+    return 1
+
+
+def cmd_run(args, out) -> int:
+    with open(args.path, encoding="utf-8") as fh:
+        source = fh.read()
+    try:
+        compiled = compile_program(source)
+    except (SyntaxError, CheckError) as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    for warning in compiled.warnings:
+        print(f"warning: {warning}", file=out)
+    if not args.spawn:
+        print(
+            "error: nothing to run — add --spawn instance=Process[:json_args]",
+            file=out,
+        )
+        return 1
+    tracer = Tracer() if args.trace else None
+    system = HopeSystem(
+        seed=args.seed,
+        latency=ConstantLatency(args.latency),
+        trace=tracer,
+        aid_mode=args.aid_mode,
+    )
+    for spec in args.spawn:
+        compiled.spawn(system, spec.instance, spec.process, *spec.args)
+    final = system.run(until=args.until, max_events=args.max_events)
+    stats = system.stats()
+    print(f"finished at t={final:g}", file=out)
+    for spec in args.spawn:
+        proc = system.procs[spec.instance]
+        outputs = system.committed_outputs(spec.instance)
+        status = "done" if proc.done else "blocked"
+        print(f"[{spec.instance}] {status}, result={proc.result!r}", file=out)
+        for value in outputs:
+            print(f"[{spec.instance}] output: {value!r}", file=out)
+    print(
+        f"stats: rollbacks={stats['rollbacks']} messages={stats['messages_sent']} "
+        f"wasted={stats['wasted_time']:g} guesses={stats['guesses']}",
+        file=out,
+    )
+    if tracer is not None:
+        print("\ntrace:", file=out)
+        print(tracer.format(), file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "check":
+        return cmd_check(args.path, out)
+    return cmd_run(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

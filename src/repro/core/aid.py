@@ -1,0 +1,82 @@
+"""Assumption identifiers (AIDs) — Definition 4.2.
+
+An AID is a first-class reference to an optimistic assumption.  Its one
+control variable is ``DOM`` ("Depends On Me"): the set of intervals whose
+fate is tied to the assumption.  DOM is invisible to the programmer "in
+the same sense that program counters are invisible" (§4); it is exposed
+here (read-only by convention) because the verification harness checks
+Lemma 5.1 symmetry directly against it.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .interval import Interval
+
+
+class AidStatus(enum.Enum):
+    """Lifecycle of an assumption identifier.
+
+    PENDING   — created by aid_init, not yet resolved.
+    AFFIRMED  — definitively confirmed true.
+    DENIED    — definitively found false.
+
+    A *speculative* affirm or deny does not change the status: it only
+    manipulates the dependency sets (affirm) or is parked in the asserting
+    interval's IHD (deny) until that interval is finalized or rolled back.
+    """
+
+    PENDING = "pending"
+    AFFIRMED = "affirmed"
+    DENIED = "denied"
+
+
+_aid_serial = itertools.count(1)
+
+
+class AssumptionId:
+    """One optimistic assumption, with its DOM dependency set.
+
+    ``name`` is user-chosen and need not be unique; ``serial`` is.  The
+    string form (used in message tags and traces) includes both.
+    """
+
+    __slots__ = ("name", "serial", "dom", "status", "resolved_by", "speculative_affirmer")
+
+    def __init__(self, name: str, serial: Optional[int] = None) -> None:
+        self.name = name
+        self.serial = serial if serial is not None else next(_aid_serial)
+        #: X.DOM — intervals that depend on this assumption (Def 4.2).
+        self.dom: set["Interval"] = set()
+        self.status = AidStatus.PENDING
+        #: Diagnostic: which process performed the definite resolution.
+        self.resolved_by: Optional[str] = None
+        #: The speculative interval whose affirm(X) emptied DOM, if any.
+        #: Needed so a rollback of that interval can release the AID back
+        #: to PENDING (footnote 2: rollback of a speculative affirm is a
+        #: conservative deny; the re-execution may then resolve X afresh).
+        self.speculative_affirmer: Optional["Interval"] = None
+
+    @property
+    def key(self) -> str:
+        """Globally unique string identity, safe to put in message tags."""
+        return f"{self.name}#{self.serial}"
+
+    @property
+    def pending(self) -> bool:
+        return self.status is AidStatus.PENDING
+
+    @property
+    def affirmed(self) -> bool:
+        return self.status is AidStatus.AFFIRMED
+
+    @property
+    def denied(self) -> bool:
+        return self.status is AidStatus.DENIED
+
+    def __repr__(self) -> str:
+        return f"<AID {self.key} {self.status.value} |DOM|={len(self.dom)}>"

@@ -1,0 +1,120 @@
+"""Process histories — Definition 4.1.
+
+An execution history is a sequence of states separated by events.  The
+machine records one :class:`HistoryEntry` per state transition; rollback
+implements ``Del(H, A)`` (§4) by truncating every entry from A's start
+index onward — Theorem 5.1 guarantees the deletion is always a suffix,
+and :meth:`ProcessRecord.truncate_from` asserts it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from .errors import MachineInvariantError
+from .interval import Interval
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .aid import AssumptionId
+
+
+class HistoryEntry:
+    """One event in a process history: ``S_i E_i S_{i+1}``.
+
+    ``index`` is the position in the (never-reindexed) history; after a
+    rollback new entries continue from the truncation point, so indices
+    stay comparable with interval start indices.
+    """
+
+    __slots__ = ("index", "kind", "detail", "interval", "g")
+
+    def __init__(
+        self,
+        index: int,
+        kind: str,
+        interval: Optional[Interval],
+        g: Optional[bool],
+        detail: dict,
+    ) -> None:
+        self.index = index
+        self.kind = kind
+        self.interval = interval
+        self.g = g
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        iv = self.interval.label if self.interval is not None else "-"
+        fields = " ".join(f"{k}={v!r}" for k, v in sorted(self.detail.items()))
+        return f"H[{self.index}] {self.kind:<10} I={iv} G={self.g} {fields}"
+
+
+class ProcessRecord:
+    """Per-process machine state: history, intervals, and the S.I/S.IS/S.G variables."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.history: list[HistoryEntry] = []
+        #: All intervals ever created, in creation order (including dead ones).
+        self.intervals: list[Interval] = []
+        #: S.I — the current interval; None encodes the paper's I = ∅.
+        self.current: Optional[Interval] = None
+        #: S.IS — speculative intervals leading to the current state.
+        self.speculative: set[Interval] = set()
+        #: S.G — result of the most recent guess (None before any guess).
+        self.g: Optional[bool] = None
+        self._next_index = 0
+        self.rollback_count = 0
+
+    # ------------------------------------------------------------------
+    # history bookkeeping
+    # ------------------------------------------------------------------
+    def append(self, kind: str, **detail: Any) -> HistoryEntry:
+        """Record a state transition (HP ← HP · S, the Eq 6 pattern)."""
+        entry = HistoryEntry(self._next_index, kind, self.current, self.g, detail)
+        self._next_index += 1
+        self.history.append(entry)
+        return entry
+
+    def truncate_from(self, start_index: int) -> list[HistoryEntry]:
+        """Del(H, A): discard the history suffix from ``start_index`` on.
+
+        Returns the removed entries.  Raises if the removal would not be a
+        contiguous suffix (that would contradict Theorem 5.1).
+        """
+        indices = [entry.index for entry in self.history]
+        if any(a >= b for a, b in zip(indices, indices[1:])):
+            raise MachineInvariantError(
+                f"history of {self.name!r} is not strictly index-ordered; "
+                "a deletion would not be a contiguous suffix"
+            )
+        keep: list[HistoryEntry] = []
+        drop: list[HistoryEntry] = []
+        for entry in self.history:
+            (drop if entry.index >= start_index else keep).append(entry)
+        self.history = keep
+        self._next_index = start_index
+        return drop
+
+    # ------------------------------------------------------------------
+    # interval queries
+    # ------------------------------------------------------------------
+    def live_intervals_from(self, start_index: int) -> list[Interval]:
+        """Speculative intervals whose start is at or after ``start_index``."""
+        return [
+            iv
+            for iv in self.intervals
+            if iv.speculative and iv.start_index >= start_index
+        ]
+
+    def speculative_chain(self) -> list[Interval]:
+        """The process's live speculative intervals in creation order."""
+        return [iv for iv in self.intervals if iv.speculative]
+
+    @property
+    def is_definite(self) -> bool:
+        """True when S.I = ∅: nothing this process does can be undone."""
+        return self.current is None
+
+    def __repr__(self) -> str:
+        cur = self.current.label if self.current is not None else "∅"
+        return f"<ProcessRecord {self.name!r} I={cur} |IS|={len(self.speculative)} |H|={len(self.history)}>"

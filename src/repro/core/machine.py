@@ -1,0 +1,720 @@
+"""The HOPE abstract machine — a direct transcription of §5's equations.
+
+This module is the single source of truth for the semantics.  Both the
+pure theorem-verification tests and the simulator-embedded runtime drive
+this machine; the runtime subscribes to its events to turn bookkeeping
+into real effects (task restarts, message retraction).
+
+Equation cross-reference (paper §5 → code):
+
+=====  =======================================================
+Eq     Where
+=====  =======================================================
+1-6    :meth:`Machine.guess` / :meth:`Machine._make_interval`
+7-9    :meth:`Machine._affirm_definite`
+10-14  :meth:`Machine._affirm_speculative`
+15     :meth:`Machine._deny_definite` / :meth:`Machine._deny_cascade`
+16     :meth:`Machine._deny_speculative`
+17-19  :meth:`Machine.free_of`
+20-23  :meth:`Machine._finalize`
+24     :meth:`Machine._rollback`
+=====  =======================================================
+
+Semantic decisions beyond the paper's letter (see DESIGN.md §3):
+
+* **Resolution conflicts.**  The paper declares repeated/conflicting
+  affirm/deny "a user error, and the meaning is undefined".  In
+  ``strict`` mode any second resolution of an AID raises
+  :class:`ResolutionConflictError`.  In lenient mode (used by the
+  runtime, where rollback legitimately re-executes resolution
+  statements) a redundant same-direction resolution is a no-op and only
+  a contradiction raises.
+* **Speculative resolutions and rollback.**  A speculative deny dies in
+  the interval's IHD (paper: "they die with the interval").  A
+  speculative affirm that is rolled back is "equivalent to a deny"
+  (footnote 2) for its *dependents* — which the IDO-merge at affirm time
+  already arranges — and releases the AID back to PENDING so the
+  re-executed program may resolve it afresh.
+* **Guessing a resolved AID.**  ``guess(x)`` on a definitively affirmed
+  AID returns True without creating an interval (the assumption is
+  known); on a denied AID it returns False immediately (the rollback it
+  would suffer is collapsed to an instant False).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from .aid import AidStatus, AssumptionId
+from .errors import (
+    FinalizePreconditionError,
+    IntervalStateError,
+    MachineInvariantError,
+    ResolutionConflictError,
+    UnknownAidError,
+    UnknownProcessError,
+)
+from .events import (
+    AffirmEvent,
+    DenyEvent,
+    FinalizeEvent,
+    GuessEvent,
+    GuessSkippedEvent,
+    MachineEvent,
+    RollbackEvent,
+)
+from .history import ProcessRecord
+from .interval import Interval, IntervalState
+
+
+def _aid_order(aid: AssumptionId) -> int:
+    return aid.serial
+
+
+def _interval_order(interval: Interval) -> tuple:
+    return (interval.pid, interval.start_index, interval.serial)
+
+
+class Machine:
+    """The abstract machine of §4, with the five primitives of §3.
+
+    ``strict`` selects resolution-conflict behaviour (see module
+    docstring).  Subscribed listeners receive a :class:`MachineEvent` for
+    every guess, affirm, deny, finalize and rollback.
+    """
+
+    def __init__(self, strict: bool = True) -> None:
+        self.strict = strict
+        self.processes: dict[str, ProcessRecord] = {}
+        self.aids: dict[str, AssumptionId] = {}
+        # Per-machine serial counters keep runs with equal seeds fully
+        # reproducible (global counters would leak across Machine
+        # instances and change AID/interval labels between runs).
+        self._aid_serials = 0
+        self._interval_serials = 0
+        self._listeners: list[Callable[[MachineEvent], None]] = []
+        self.stats = {
+            "guesses": 0,
+            "implicit_guesses": 0,
+            "affirms": 0,
+            "denies": 0,
+            "free_ofs": 0,
+            "finalizes": 0,
+            "rollbacks": 0,
+            "intervals_discarded": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def create_process(self, name: str) -> ProcessRecord:
+        """Register a process; idempotent."""
+        record = self.processes.get(name)
+        if record is None:
+            record = ProcessRecord(name)
+            self.processes[name] = record
+            record.append("init")
+        return record
+
+    def process(self, name: str) -> ProcessRecord:
+        record = self.processes.get(name)
+        if record is None:
+            raise UnknownProcessError(f"unknown process {name!r}")
+        return record
+
+    def aid_init(self, name: str) -> AssumptionId:
+        """Create a fresh assumption identifier (the paper's aid_init)."""
+        self._aid_serials += 1
+        aid = AssumptionId(name, serial=self._aid_serials)
+        self.aids[aid.key] = aid
+        return aid
+
+    def aid(self, key: str) -> AssumptionId:
+        aid = self.aids.get(key)
+        if aid is None:
+            raise UnknownAidError(f"unknown assumption identifier {key!r}")
+        return aid
+
+    def subscribe(self, listener: Callable[[MachineEvent], None]) -> None:
+        self._listeners.append(listener)
+
+    def _emit(self, event: MachineEvent) -> None:
+        for listener in self._listeners:
+            listener(event)
+
+    # ------------------------------------------------------------------
+    # ordinary computation
+    # ------------------------------------------------------------------
+    def step(self, pid: str, label: str, **detail) -> None:
+        """Record an ordinary (non-HOPE) event in the process history."""
+        record = self.process(pid)
+        record.append("event", label=label, **detail)
+
+    # ------------------------------------------------------------------
+    # guess — Eq 1-6
+    # ------------------------------------------------------------------
+    def guess(self, pid: str, aid: AssumptionId, ps: object = None) -> bool:
+        """Execute guess(X) in process ``pid``; returns the G value.
+
+        ``ps`` is the checkpoint payload stored in A.PS (Eq 1) — the pure
+        machine stores the history index if None is given; the runtime
+        passes its replay checkpoint.
+        """
+        record = self.process(pid)
+        self.stats["guesses"] += 1
+        if aid.affirmed:
+            record.g = True
+            record.append("guess_skip", aid=aid.key, value=True)
+            self._emit(GuessSkippedEvent(pid, aid, True))
+            return True
+        if aid.denied:
+            record.g = False
+            record.append("guess_skip", aid=aid.key, value=False)
+            self._emit(GuessSkippedEvent(pid, aid, False))
+            return False
+        self._make_interval(record, [aid], head_aid=aid, ps=ps)
+        return True
+
+    def guess_many(
+        self,
+        pid: str,
+        aids: Iterable[AssumptionId],
+        ps: object = None,
+    ) -> Optional[Interval]:
+        """Implicit guesses from a tagged receive (§3: the receiver
+        "implicitly applies a guess primitive to each of the AIDs in the
+        message's tag").
+
+        All tag AIDs not already among the receiver's dependencies are
+        folded into a single new interval whose checkpoint sits just
+        before the receive — the per-interval rollback granularity of
+        Def 4.4.  Returns the interval, or None when the tags add no new
+        dependencies (no checkpoint is needed then).
+
+        Callers must filter out denied AIDs first (a message tagged with a
+        denied AID is from a dead speculative world and must be dropped,
+        which is the runtime's job).
+        """
+        record = self.process(pid)
+        current_deps = record.current.ido if record.current is not None else frozenset()
+        fresh = [a for a in aids if a.pending and a not in current_deps]
+        if not fresh:
+            return None
+        self.stats["implicit_guesses"] += len(fresh)
+        return self._make_interval(record, fresh, head_aid=None, ps=ps)
+
+    def _make_interval(
+        self,
+        record: ProcessRecord,
+        new_aids: list[AssumptionId],
+        head_aid: Optional[AssumptionId],
+        ps: object,
+    ) -> Interval:
+        start_index = record._next_index
+        if ps is None:
+            ps = start_index
+        self._interval_serials += 1
+        interval = Interval(
+            pid=record.name,
+            ps=ps,                      # Eq 1 (A.PS) and Eq 2 (A.PID)
+            start_index=start_index,
+            aid=head_aid,
+            parent=record.current,
+            serial=self._interval_serials,
+        )
+        inherited = set(record.current.ido) if record.current is not None else set()
+        interval.ido = inherited | set(new_aids)        # Eq 3
+        # Eq 4, generalized to every member of A.IDO: Lemma 5.1 demands
+        # X ∈ A.IDO ⟺ A ∈ X.DOM, and Theorem 5.1's proof relies on
+        # inherited dependencies being in DOM (the definite deny of an
+        # inherited X must reach this interval through X.DOM).
+        for aid in interval.ido:
+            aid.dom.add(interval)
+        record.intervals.append(interval)
+        record.current = interval                       # Eq 5: S.I ← A
+        record.speculative.add(interval)                # Eq 5: S.IS ∪ {A}
+        record.g = True                                 # Eq 5: S.G ← True
+        record.append(                                  # Eq 6: HP ← HP · S
+            "guess",
+            aid=head_aid.key if head_aid is not None else None,
+            tags=tuple(sorted(a.key for a in new_aids)),
+        )
+        self._emit(GuessEvent(record.name, interval))
+        return interval
+
+    # ------------------------------------------------------------------
+    # affirm — Eq 7-14
+    # ------------------------------------------------------------------
+    def affirm(self, pid: str, aid: AssumptionId, via: str = "affirm") -> None:
+        """Execute affirm(X) in process ``pid``."""
+        record = self.process(pid)
+        self.stats["affirms"] += 1
+        if not self._check_resolution(aid, wanted=AidStatus.AFFIRMED, pid=pid, via=via):
+            record.append("affirm_noop", aid=aid.key, via=via)
+            return
+        current = record.current
+        if current is None:
+            self._affirm_definite(record, aid, via)
+        else:
+            self._affirm_speculative(record, current, aid, via)
+
+    def _affirm_definite(self, record: ProcessRecord, aid: AssumptionId, via: str) -> None:
+        """Definite affirm: Eq 7-9.  Cannot be undone."""
+        aid.status = AidStatus.AFFIRMED
+        aid.resolved_by = record.name
+        record.append("affirm", aid=aid.key, mode="definite", via=via)
+        self._shed_affirmed(aid)
+        self._emit(AffirmEvent(record.name, aid, definite=True))
+
+    def _shed_affirmed(self, aid: AssumptionId) -> None:
+        """The Eq 7-9 set operations: release every dependent of an
+        affirmed AID, finalizing those whose IDO empties."""
+        for dependent in sorted(aid.dom, key=_interval_order):   # Eq 7: ∀B ∈ X.DOM
+            if not dependent.speculative:
+                continue
+            dependent.ido.discard(aid)                           # Eq 8
+            aid.dom.discard(dependent)                           # Eq 9
+            self.processes[dependent.pid].append(
+                "ido_update", aid=aid.key, interval=dependent.label
+            )
+            if not dependent.ido:                                # Eq 9: finalize
+                self._finalize(dependent)
+        aid.dom.clear()
+
+    def _affirm_speculative(
+        self,
+        record: ProcessRecord,
+        current: Interval,
+        aid: AssumptionId,
+        via: str,
+    ) -> None:
+        """Speculative affirm: Eq 10-14.  May later be undone by rollback."""
+        aid.speculative_affirmer = current
+        current.spec_affirms.append(aid)
+        record.append("affirm", aid=aid.key, mode="speculative", via=via)
+        dom_snapshot = sorted(aid.dom, key=_interval_order)
+        affirmer_ido = set(current.ido)
+        for dependent in dom_snapshot:                           # Eq 11: ∀B ∈ X.DOM
+            if not dependent.speculative:
+                continue
+            for upstream in sorted(affirmer_ido, key=_aid_order):
+                upstream.dom.add(dependent)                      # Eq 10
+            dependent.ido = (dependent.ido | affirmer_ido) - {aid}   # Eq 12
+            aid.dom.discard(dependent)                           # Eq 14
+            self.processes[dependent.pid].append(
+                "ido_update", aid=aid.key, interval=dependent.label
+            )
+            if not dependent.ido:                                # Eq 13
+                self._finalize(dependent)
+        aid.dom.clear()
+        self._emit(AffirmEvent(record.name, aid, definite=False))
+
+    # ------------------------------------------------------------------
+    # deny — Eq 15-16
+    # ------------------------------------------------------------------
+    def deny(self, pid: str, aid: AssumptionId, via: str = "deny") -> None:
+        """Execute deny(X) in process ``pid``."""
+        record = self.process(pid)
+        self.stats["denies"] += 1
+        if not self._check_resolution(aid, wanted=AidStatus.DENIED, pid=pid, via=via):
+            record.append("deny_noop", aid=aid.key, via=via)
+            return
+        current = record.current
+        definite = current is None or aid in current.ido         # Eq 15 guard
+        if definite:
+            self._deny_definite(record, aid, via)
+        else:
+            self._deny_speculative(record, current, aid, via)
+
+    def _deny_definite(self, record: ProcessRecord, aid: AssumptionId, via: str) -> None:
+        """Definite deny: Eq 15.  Rolls back every dependent of X.
+
+        Note the Eq 15 guard includes X ∈ A.IDO: a process denying an
+        assumption it itself depends on makes the deny definite — the
+        denier is about to roll itself back, but the denial survives.
+        """
+        aid.status = AidStatus.DENIED
+        aid.resolved_by = record.name
+        record.append("deny", aid=aid.key, mode="definite", via=via)
+        self._emit(DenyEvent(record.name, aid, definite=True))
+        self._deny_cascade(aid)
+
+    def _deny_speculative(
+        self,
+        record: ProcessRecord,
+        current: Interval,
+        aid: AssumptionId,
+        via: str,
+    ) -> None:
+        """Speculative deny: Eq 16.  Parked in A.IHD until finalize."""
+        current.ihd.add(aid)
+        record.append("deny", aid=aid.key, mode="speculative", via=via)
+        self._emit(DenyEvent(record.name, aid, definite=False))
+
+    def _deny_cascade(self, aid: AssumptionId) -> None:
+        """Roll back all of X.DOM (the ∀B ∈ X.DOM of Eq 15 and Eq 22)."""
+        for dependent in sorted(aid.dom, key=_interval_order):
+            if dependent.speculative:
+                self._rollback(dependent, cause=aid)
+        aid.dom.clear()
+
+    # ------------------------------------------------------------------
+    # free_of — Eq 17-19
+    # ------------------------------------------------------------------
+    def free_of(self, pid: str, aid: AssumptionId) -> None:
+        """Execute free_of(X): assert the caller is causally free of X.
+
+        Eq 17-19: definite state ⇒ definite affirm; speculative but not
+        dependent on X ⇒ speculative affirm; dependent on X ⇒ deny (which
+        is definite by the Eq 15 guard, so the violator rolls back —
+        Theorem 6.3).
+        """
+        record = self.process(pid)
+        self.stats["free_ofs"] += 1
+        current = record.current
+        if aid.affirmed or aid.denied:
+            # A resolved AID: the constraint is trivially decided.  The
+            # interesting case is the re-execution after a free_of-induced
+            # self-rollback (Figure 2's WorryWart): X is already denied and
+            # the re-executed free_of must be a harmless no-op.
+            if current is not None and aid in current.ido:
+                raise MachineInvariantError(
+                    f"{pid!r} depends on resolved AID {aid.key} — "
+                    "a resolved AID must have an empty DOM"
+                )
+            if self.strict:
+                raise ResolutionConflictError(
+                    f"free_of({aid.key}) after the AID was already "
+                    f"{aid.status.value} (strict mode)"
+                )
+            record.append("free_of_noop", aid=aid.key)
+            return
+        record.append("free_of", aid=aid.key)
+        if current is None:
+            self.affirm(pid, aid, via="free_of")                 # Eq 17
+        elif aid not in current.ido:
+            self.affirm(pid, aid, via="free_of")                 # Eq 18
+        else:
+            self.deny(pid, aid, via="free_of")                   # Eq 19
+
+    # ------------------------------------------------------------------
+    # finalize — Eq 20-23
+    # ------------------------------------------------------------------
+    def _finalize(self, interval: Interval) -> None:
+        """Make ``interval`` definite.  Internal: not a user primitive (§5.2)."""
+        if interval.ido:                                         # Eq 20
+            raise FinalizePreconditionError(
+                f"finalize({interval.label}) with non-empty IDO "
+                f"{sorted(a.key for a in interval.ido)}"
+            )
+        if not interval.speculative:
+            return
+        self.stats["finalizes"] += 1
+        interval.state = IntervalState.DEFINITE
+        record = self.processes[interval.pid]
+        record.speculative.discard(interval)                     # Eq 21
+        record.append("finalize", interval=interval.label)
+        if record.current is interval and record.speculative:
+            raise MachineInvariantError(
+                f"current interval {interval.label} finalized while older "
+                f"speculative intervals remain — violates the Theorem 5.1 "
+                f"IDO-subset chain"
+            )
+        self._emit(FinalizeEvent(record.name, interval))
+        # Lemma 6.1: a speculative affirm whose asserting interval is made
+        # definite has the same effect as a definite affirm — record the
+        # now-unrevocable status and release any dependents the AID
+        # accumulated after the speculative affirm (e.g. later guesses).
+        for affirmed in interval.spec_affirms:
+            if affirmed.pending:
+                affirmed.status = AidStatus.AFFIRMED
+                affirmed.resolved_by = interval.pid
+                self._emit(AffirmEvent(interval.pid, affirmed, definite=True))
+                self._shed_affirmed(affirmed)
+        for parked in sorted(interval.ihd, key=_aid_order):      # Eq 22
+            if parked.denied:
+                continue
+            if parked.affirmed:
+                # A definite affirm landed while this deny was parked.
+                # The paper calls conflicting resolutions a user error with
+                # undefined meaning; we resolve the race deterministically:
+                # in lenient mode the earlier definite affirm wins and the
+                # parked deny dies; strict mode refuses.
+                if self.strict:
+                    raise ResolutionConflictError(
+                        f"speculative deny({parked.key}) became definite at "
+                        f"finalize({interval.label}) but the AID was already "
+                        "affirmed"
+                    )
+                continue
+            parked.status = AidStatus.DENIED
+            parked.resolved_by = interval.pid
+            self._emit(DenyEvent(interval.pid, parked, definite=True))
+            self._deny_cascade(parked)
+        if not record.speculative:                               # Eq 23
+            record.current = None
+            record.append("definite")
+
+    # ------------------------------------------------------------------
+    # rollback — Eq 24
+    # ------------------------------------------------------------------
+    def _rollback(self, interval: Interval, cause: Optional[AssumptionId] = None) -> None:
+        """Roll back ``interval``: truncate history, discard descendants.
+
+        Internal: only reachable through a definite deny (Eq 15/22).
+        """
+        if interval.definite:
+            raise IntervalStateError(
+                f"rollback of definite interval {interval.label} — "
+                "impossible by Theorem 5.2"
+            )
+        if interval.rolled_back:
+            return
+        record = self.processes[interval.pid]
+        discarded = [
+            iv
+            for iv in record.intervals
+            if iv.speculative and iv.start_index >= interval.start_index
+        ]
+        for dead in discarded:
+            dead.state = IntervalState.ROLLED_BACK
+            record.speculative.discard(dead)
+            for dep_aid in dead.ido:
+                dep_aid.dom.discard(dead)
+            for affirmed in dead.spec_affirms:
+                # Footnote 2: the rollback of a speculative affirm acts as
+                # a deny for X's former dependents (already arranged by the
+                # Eq 12 IDO merge); X itself returns to PENDING so the
+                # re-execution may resolve it again.
+                if affirmed.speculative_affirmer is dead:
+                    affirmed.speculative_affirmer = None
+            dead.spec_affirms.clear()
+        self.stats["rollbacks"] += 1
+        self.stats["intervals_discarded"] += len(discarded)
+        record.truncate_from(interval.start_index)               # Eq 24: Del(HP, A)
+        # Resume into the newest interval that survives the truncation.
+        # This is usually interval.parent, but the parent may have been
+        # finalized in the meantime — a finalized prefix stays definite
+        # (Theorem 5.2), so the process resumes with I = ∅ in that case.
+        survivors = [
+            iv
+            for iv in record.intervals
+            if iv.speculative and iv.start_index < interval.start_index
+        ]
+        record.current = survivors[-1] if survivors else None
+        record.g = False                                         # Eq 24: S.G ← False
+        record.rollback_count += 1
+        record.append(
+            "resume",
+            from_interval=interval.label,
+            aid=interval.aid.key if interval.aid is not None else None,
+            cause=cause.key if cause is not None else None,
+        )
+        self._emit(
+            RollbackEvent(
+                record.name,
+                resume_interval=interval,
+                discarded=tuple(discarded),
+                cause=cause,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # resolution-conflict policy
+    # ------------------------------------------------------------------
+    def _check_resolution(
+        self,
+        aid: AssumptionId,
+        wanted: AidStatus,
+        pid: str,
+        via: str,
+    ) -> bool:
+        """Gate a resolution attempt.  Returns True when it should proceed.
+
+        Strict mode: any second resolution raises.  Lenient: redundant
+        same-direction resolutions return False (no-op); contradictions
+        raise.  A second affirm while a live speculative affirm is pending
+        is a user error in both modes (two distinct intervals claiming the
+        same assumption).
+        """
+        if aid.status is not AidStatus.PENDING:
+            if self.strict:
+                raise ResolutionConflictError(
+                    f"{via}({aid.key}) by {pid!r}: AID already "
+                    f"{aid.status.value} by {aid.resolved_by!r} (strict mode)"
+                )
+            if aid.status is wanted:
+                return False
+            raise ResolutionConflictError(
+                f"{via}({aid.key}) by {pid!r} conflicts with earlier "
+                f"{aid.status.value} by {aid.resolved_by!r}"
+            )
+        affirmer = aid.speculative_affirmer
+        if affirmer is not None and affirmer.speculative:
+            raise ResolutionConflictError(
+                f"{via}({aid.key}) by {pid!r}: AID already speculatively "
+                f"affirmed by live interval {affirmer.label}"
+            )
+        return True
+
+    # ------------------------------------------------------------------
+    # invariants (used by tests and the model checker)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise :class:`MachineInvariantError` on any broken invariant.
+
+        Checked facts:
+
+        * Lemma 5.1 symmetry: X ∈ A.IDO ⟺ A ∈ X.DOM, over live intervals
+          and pending AIDs;
+        * S.IS consistency: a process's speculative set is exactly its
+          live speculative intervals, and S.I is its newest member;
+        * the Theorem 5.1 subset chain: consecutive live intervals of one
+          process satisfy earlier.IDO ⊆ later.IDO;
+        * resolved AIDs have empty DOM;
+        * definite intervals have empty IDO (Eq 20).
+        """
+        for aid in self.aids.values():
+            if not aid.pending and aid.dom:
+                raise MachineInvariantError(
+                    f"resolved AID {aid.key} has non-empty DOM"
+                )
+            for member in aid.dom:
+                if not member.speculative:
+                    raise MachineInvariantError(
+                        f"{aid.key}.DOM contains non-speculative {member.label}"
+                    )
+                if aid not in member.ido:
+                    raise MachineInvariantError(
+                        f"Lemma 5.1 broken: {member.label} ∈ {aid.key}.DOM "
+                        f"but {aid.key} ∉ IDO"
+                    )
+        for record in self.processes.values():
+            live = [iv for iv in record.intervals if iv.speculative]
+            if set(live) != record.speculative:
+                raise MachineInvariantError(
+                    f"{record.name!r}: IS does not match live intervals"
+                )
+            if record.current is None:
+                if record.speculative:
+                    raise MachineInvariantError(
+                        f"{record.name!r}: I = ∅ but IS non-empty"
+                    )
+            else:
+                if record.current is not (live[-1] if live else None):
+                    raise MachineInvariantError(
+                        f"{record.name!r}: I is not the newest live interval"
+                    )
+            for earlier, later in zip(live, live[1:]):
+                if not earlier.ido <= later.ido:
+                    raise MachineInvariantError(
+                        f"Theorem 5.1 subset chain broken in {record.name!r}: "
+                        f"{earlier.label}.IDO ⊄ {later.label}.IDO"
+                    )
+            for interval in record.intervals:
+                if interval.definite and interval.ido:
+                    raise MachineInvariantError(
+                        f"definite interval {interval.label} has non-empty IDO"
+                    )
+                if interval.speculative:
+                    for aid in interval.ido:
+                        if interval not in aid.dom:
+                            raise MachineInvariantError(
+                                f"Lemma 5.1 broken: {aid.key} ∈ "
+                                f"{interval.label}.IDO but interval ∉ DOM"
+                            )
+
+    # ------------------------------------------------------------------
+    # crash support (optimistic recovery)
+    # ------------------------------------------------------------------
+    def forget_process(self, pid: str) -> list[Interval]:
+        """Discard a crashed process's speculative machine state.
+
+        A crash destroys the incarnation that could have been rolled back,
+        so its live intervals are marked rolled-back and unlinked from DOM
+        sets — but *without* the resume bookkeeping of Eq 24: there is no
+        incarnation to resume, and messages the process sent speculatively
+        are NOT retracted; their fate rides on their AID tags, which is
+        precisely the optimistic-recovery assumption of [24].  Speculative
+        affirms by the crashed process release their AIDs to PENDING (the
+        recovery procedure re-resolves them); parked IHD denies die.
+
+        Returns the discarded intervals (the runtime uses them to mark
+        outputs uncommitted).
+        """
+        record = self.process(pid)
+        discarded = [iv for iv in record.intervals if iv.speculative]
+        for dead in discarded:
+            dead.state = IntervalState.ROLLED_BACK
+            record.speculative.discard(dead)
+            for dep_aid in dead.ido:
+                dep_aid.dom.discard(dead)
+            for affirmed in dead.spec_affirms:
+                if affirmed.speculative_affirmer is dead:
+                    affirmed.speculative_affirmer = None
+            dead.spec_affirms.clear()
+        record.current = None
+        record.g = None
+        record.truncate_from(0)
+        record.append("crash", discarded=len(discarded))
+        return discarded
+
+    # ------------------------------------------------------------------
+    # tag resolution (for message delivery)
+    # ------------------------------------------------------------------
+    def resolve_tags(
+        self, tags: Iterable[AssumptionId]
+    ) -> tuple[bool, frozenset[AssumptionId]]:
+        """Map a message's AID tags to the dependencies they mean *now*.
+
+        Tags are attached at send time but interpreted at delivery time,
+        by which point the assumption landscape may have shifted:
+
+        * an **affirmed** tag imposes no dependency (the assumption held);
+        * a **denied** tag marks the message as coming from a discarded
+          speculative world — the message is dead and must be dropped
+          (returns ``(False, ∅)``);
+        * a **speculatively affirmed** tag is replaced by the affirming
+          interval's own current dependencies (recursively) — this is the
+          delivery-side mirror of the Eq 12 IDO merge, and what makes
+          Theorem 6.3 hold across in-flight messages;
+        * an untouched **pending** tag stands for itself.
+        """
+        live = True
+        deps: set[AssumptionId] = set()
+        stack = list(tags)
+        seen: set[AssumptionId] = set()
+        while stack:
+            aid = stack.pop()
+            if aid in seen:
+                continue
+            seen.add(aid)
+            if aid.denied:
+                return (False, frozenset())
+            if aid.affirmed:
+                continue
+            affirmer = aid.speculative_affirmer
+            if affirmer is not None and affirmer.speculative:
+                stack.extend(affirmer.ido)
+            else:
+                deps.add(aid)
+        return (live, frozenset(deps))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def dependencies_of(self, pid: str) -> frozenset[AssumptionId]:
+        """The AID set the process currently depends on (its message tag)."""
+        record = self.process(pid)
+        if record.current is None:
+            return frozenset()
+        return frozenset(record.current.ido)
+
+    def is_definite(self, pid: str) -> bool:
+        return self.process(pid).is_definite
+
+    def __repr__(self) -> str:
+        return (
+            f"<Machine procs={len(self.processes)} aids={len(self.aids)} "
+            f"rollbacks={self.stats['rollbacks']}>"
+        )

@@ -1,0 +1,42 @@
+"""Mini-HOPE: a tiny language embedding the HOPE primitives.
+
+HOPE "is a programming model for optimism, embodied as a set of
+primitives designed to be embedded in some other programming language"
+(§3).  This package is that embedding done twice over: a small imperative
+language (lexer, parser, static checks, interpreter) whose programs run
+as processes on the HOPE runtime — close enough to the paper's Figure 2
+pseudocode to transcribe it almost verbatim::
+
+    process Worker(total) {
+        var PartPage = aid_init("PartPage");
+        var Order = aid_init("Order");
+        send("worrywart", tuple(PartPage, Order, total));
+        if (guess(PartPage)) {
+            skip;
+        } else {
+            call("server", tuple("newpage"));
+        }
+        guess(Order);
+        send("server_oneway", tuple("print", "Summary", 1));
+    }
+"""
+
+from .ast import Program
+from .check import CheckError, CheckReport, check_program
+from .interp import CompiledProgram, HopeLangError, compile_program
+from .lexer import LexError, tokenize
+from .parser import ParseError, parse
+
+__all__ = [
+    "tokenize",
+    "parse",
+    "compile_program",
+    "check_program",
+    "CompiledProgram",
+    "Program",
+    "CheckReport",
+    "LexError",
+    "ParseError",
+    "CheckError",
+    "HopeLangError",
+]

@@ -1,0 +1,97 @@
+"""Hand-written lexer for the mini-HOPE language."""
+
+from __future__ import annotations
+
+from .tokens import EOF, KEYWORD, KEYWORDS, NAME, NUMBER, OP, OPERATORS, STRING, Token
+
+
+class LexError(SyntaxError):
+    """Tokenization failure, with source position in the message."""
+
+
+def tokenize(source: str) -> list[Token]:
+    """Turn source text into a token list ending with an EOF token.
+
+    Comments run from ``//`` to end of line.  Strings are double-quoted
+    with ``\\"`` and ``\\\\`` escapes.
+    """
+    tokens: list[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            word = source[start:i]
+            kind = KEYWORD if word in KEYWORDS else NAME
+            tokens.append(Token(kind, word, line, col))
+            col += i - start
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            while i < n and (source[i].isdigit() or (source[i] == "." and not seen_dot)):
+                if source[i] == ".":
+                    seen_dot = True
+                i += 1
+            tokens.append(Token(NUMBER, source[start:i], line, col))
+            col += i - start
+            continue
+        if ch == '"':
+            start_line, start_col = line, col
+            i += 1
+            col += 1
+            chunks: list[str] = []
+            while True:
+                if i >= n:
+                    raise LexError(f"unterminated string at {start_line}:{start_col}")
+                c = source[i]
+                if c == "\n":
+                    raise LexError(f"newline in string at {start_line}:{start_col}")
+                if c == "\\":
+                    if i + 1 >= n:
+                        raise LexError(f"dangling escape at {line}:{col}")
+                    escape = source[i + 1]
+                    mapping = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+                    if escape not in mapping:
+                        raise LexError(f"unknown escape \\{escape} at {line}:{col}")
+                    chunks.append(mapping[escape])
+                    i += 2
+                    col += 2
+                    continue
+                if c == '"':
+                    i += 1
+                    col += 1
+                    break
+                chunks.append(c)
+                i += 1
+                col += 1
+            tokens.append(Token(STRING, "".join(chunks), start_line, start_col))
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token(OP, op, line, col))
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r} at {line}:{col}")
+    tokens.append(Token(EOF, "", line, col))
+    return tokens

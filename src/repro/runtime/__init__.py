@@ -1,0 +1,63 @@
+"""The HOPE runtime: processes, tagged messages, automatic rollback.
+
+Public surface:
+
+* :class:`HopeSystem` — build a world, spawn processes, run;
+* :class:`HopeProcess` — the effect facade handed to process bodies;
+* :class:`AidHandle` — user-space assumption references;
+* :func:`call` — the synchronous-RPC sub-generator used by the examples;
+* :mod:`repro.runtime.aid_task` — the distributed AID-task protocol mode.
+"""
+
+from .api import AidHandle, CorrelationCounter, HopeProcess, aid_key, call
+from .effects import (
+    AffirmEffect,
+    AidInitEffect,
+    ComputeEffect,
+    DenyEffect,
+    EmitEffect,
+    FreeOfEffect,
+    GuessEffect,
+    HopeEffect,
+    NowEffect,
+    RandomEffect,
+    RecvEffect,
+    SendEffect,
+    SpawnEffect,
+)
+from .engine import HopeSystem, OutputRecord, ProcessRuntime, SpeculativeSpawnError
+from .messages import ReceivedMessage, RpcReply, RpcRequest, is_reply_to
+from .replay import Checkpoint, EffectLog, LogEntry, ReplayDivergenceError
+
+__all__ = [
+    "HopeSystem",
+    "HopeProcess",
+    "ProcessRuntime",
+    "AidHandle",
+    "aid_key",
+    "call",
+    "CorrelationCounter",
+    "ReceivedMessage",
+    "RpcRequest",
+    "RpcReply",
+    "is_reply_to",
+    "EffectLog",
+    "LogEntry",
+    "Checkpoint",
+    "ReplayDivergenceError",
+    "SpeculativeSpawnError",
+    "HopeEffect",
+    "AidInitEffect",
+    "GuessEffect",
+    "AffirmEffect",
+    "DenyEffect",
+    "FreeOfEffect",
+    "SendEffect",
+    "RecvEffect",
+    "ComputeEffect",
+    "NowEffect",
+    "RandomEffect",
+    "EmitEffect",
+    "SpawnEffect",
+    "OutputRecord",
+]

@@ -1,0 +1,121 @@
+"""Control planes: how HOPE primitives reach the dependency tracker.
+
+The paper's prototype implements "assumption identifiers ... as AID
+tasks, and the HOPE dependency tracking algorithms ... using PVM
+messages", with the key property that "the implementation never forces a
+user process to wait for a HOPE dependency tracking message before
+proceeding" (§7).
+
+Two control planes implement that contract at different fidelities:
+
+* :class:`RegistryControlPlane` — the idealized centralized registry:
+  primitives take effect instantly and atomically.  This is the default;
+  it matches the abstract machine exactly and is what the semantics tests
+  verify against.
+* :class:`AidTaskControlPlane` — the distributed AID-task protocol:
+  every ``guess`` sends an asynchronous DEPEND registration, every
+  ``affirm``/``deny``/``free_of`` is a control message that takes
+  ``control_latency`` to reach the AID task, and each rollback costs one
+  NOTIFY message (plus its latency) per victim before the victim's
+  restart begins.  The caller *never blocks* — it continues speculating
+  until consequences catch up with it, exactly like the prototype.
+
+The AIDMODE benchmark measures the gap between the two: extra control
+traffic, delayed resolution, and slower rollback recovery.
+
+Convergence argument: delayed application commutes with the lenient
+resolution-conflict policy (duplicate resolutions no-op; a control
+message from a rolled-back statement re-applies idempotently), so both
+planes reach the same final AID statuses and committed outputs; only
+timing and wasted work differ.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core import AssumptionId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import HopeSystem
+
+
+class RegistryControlPlane:
+    """Instant, atomic primitives — the centralized idealization."""
+
+    name = "registry"
+
+    def __init__(self, engine: "HopeSystem") -> None:
+        self.engine = engine
+        self.control_messages = 0
+
+    def issue(self, kind: str, pid: str, aid: AssumptionId) -> None:
+        """Apply a resolution primitive immediately."""
+        machine = self.engine.machine
+        if kind == "affirm":
+            machine.affirm(pid, aid)
+        elif kind == "deny":
+            machine.deny(pid, aid)
+        elif kind == "free_of":
+            machine.free_of(pid, aid)
+        else:  # pragma: no cover - dispatch guarded by the engine
+            raise ValueError(f"unknown resolution kind {kind!r}")
+
+    def note_guess(self, pid: str, n_aids: int) -> None:
+        """Dependency registration is local bookkeeping here."""
+
+    def notify_delay(self) -> float:
+        """Extra restart delay per rollback victim."""
+        return 0.0
+
+
+class AidTaskControlPlane(RegistryControlPlane):
+    """The distributed AID-task protocol: asynchronous, message-counted.
+
+    ``control_latency`` is the one-way latency of a dependency-tracking
+    message (user process -> AID task, and AID task -> victim).
+    """
+
+    name = "aid_task"
+
+    def __init__(self, engine: "HopeSystem", control_latency: float = 1.0) -> None:
+        super().__init__(engine)
+        if control_latency < 0:
+            raise ValueError(f"control_latency must be >= 0, got {control_latency}")
+        self.control_latency = control_latency
+        self._applying = False
+
+    def issue(self, kind: str, pid: str, aid: AssumptionId) -> None:
+        """Send the resolution to the AID task; apply on arrival.
+
+        The caller resumes immediately (never waits); the resolution's
+        global effects — shedding dependents, rolling back victims —
+        happen one control hop later.
+        """
+        self.control_messages += 1
+        self.engine.sim.schedule(
+            self.control_latency,
+            self._apply,
+            kind,
+            pid,
+            aid,
+            label=f"aidctl:{kind}:{aid.key}",
+        )
+
+    def _apply(self, kind: str, pid: str, aid: AssumptionId) -> None:
+        self._applying = True
+        try:
+            super().issue(kind, pid, aid)
+        finally:
+            self._applying = False
+
+    def note_guess(self, pid: str, n_aids: int) -> None:
+        """Each new dependency sends an async DEPEND registration."""
+        self.control_messages += n_aids
+
+    def notify_delay(self) -> float:
+        """Rollback notifications travel AID task -> victim."""
+        if self._applying:
+            self.control_messages += 1          # the NOTIFY message
+            return self.control_latency
+        return 0.0

@@ -1,0 +1,190 @@
+"""The user-facing HOPE API: the process facade and AID handles.
+
+A HOPE process body is a generator function ``def body(p, *args)`` whose
+``p`` is a :class:`HopeProcess`.  Every interaction with the world is a
+``yield`` of one of ``p``'s effect constructors::
+
+    def worker(p):
+        x = yield p.aid_init("page-not-full")
+        yield p.send("worrywart", ("check", x))
+        if (yield p.guess(x)):
+            yield p.compute(2.0)        # optimistic path
+        else:
+            yield p.compute(8.0)        # pessimistic path (after rollback)
+
+Idiomatically — exactly as §3 prescribes — ``guess`` sits in an ``if``:
+the True branch is the optimistic algorithm, the False branch the
+pessimistic one, and the runtime re-executes from the ``guess`` with
+False when the assumption is denied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Union
+
+from .effects import (
+    AffirmEffect,
+    AidInitEffect,
+    ComputeEffect,
+    DenyEffect,
+    EmitEffect,
+    FreeOfEffect,
+    GuessEffect,
+    NowEffect,
+    RandomEffect,
+    RecvEffect,
+    SendEffect,
+    SpawnEffect,
+)
+from .messages import ReceivedMessage, RpcReply, RpcRequest
+
+
+@dataclass(frozen=True)
+class AidHandle:
+    """A user-space reference to an assumption identifier.
+
+    Handles are plain immutable values: they can be stored, compared, and
+    sent inside message payloads to other processes (which is how Figure 2
+    hands ``PartPage`` and ``Order`` to the WorryWart).
+    """
+
+    key: str
+    name: str
+
+    def __repr__(self) -> str:
+        return f"AID<{self.key}>"
+
+
+AidRef = Union[AidHandle, str]
+
+
+def aid_key(ref: AidRef) -> str:
+    """Accept an :class:`AidHandle` or a raw key string."""
+    if isinstance(ref, AidHandle):
+        return ref.key
+    return ref
+
+
+class HopeProcess:
+    """Effect-constructor facade handed to every HOPE process body.
+
+    Thin by design: each method builds an effect for the engine; no state
+    lives here except identity, so user code cannot accidentally bypass
+    the effect log.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # the five HOPE primitives (§3)
+    # ------------------------------------------------------------------
+    def aid_init(self, name: str = "aid") -> AidInitEffect:
+        """Create an assumption identifier; resumes with an :class:`AidHandle`."""
+        return AidInitEffect(name)
+
+    def guess(self, aid: AidRef) -> GuessEffect:
+        """Make the optimistic assumption ``aid``; resumes with True, or
+        False when re-executed after the assumption is denied."""
+        return GuessEffect(aid_key(aid))
+
+    def affirm(self, aid: AidRef) -> AffirmEffect:
+        """Assert the assumption identified by ``aid`` is true."""
+        return AffirmEffect(aid_key(aid))
+
+    def deny(self, aid: AidRef) -> DenyEffect:
+        """Assert the assumption identified by ``aid`` is false."""
+        return DenyEffect(aid_key(aid))
+
+    def free_of(self, aid: AidRef) -> FreeOfEffect:
+        """Assert this computation is (and will stay) causally free of ``aid``."""
+        return FreeOfEffect(aid_key(aid))
+
+    # ------------------------------------------------------------------
+    # communication
+    # ------------------------------------------------------------------
+    def send(self, dst: str, payload: Any) -> SendEffect:
+        """Asynchronously send ``payload``; automatically tagged with the
+        sender's current assumption dependencies (§7)."""
+        return SendEffect(dst, payload)
+
+    def recv(
+        self,
+        timeout: Optional[float] = None,
+        predicate: Optional[Callable[[Any], bool]] = None,
+    ) -> RecvEffect:
+        """Receive the next message; resumes with a :class:`ReceivedMessage`
+        (or :data:`repro.sim.TIMED_OUT`).  Tagged messages first apply the
+        implicit guesses of §3."""
+        return RecvEffect(timeout, predicate)
+
+    def reply(self, request: ReceivedMessage, body: Any) -> SendEffect:
+        """Answer an :class:`RpcRequest` carried by ``request``."""
+        payload = request.payload
+        if not isinstance(payload, RpcRequest):
+            raise TypeError(f"reply() needs an RpcRequest payload, got {payload!r}")
+        return SendEffect(payload.reply_to, RpcReply(body, payload.corr))
+
+    # ------------------------------------------------------------------
+    # local computation & environment
+    # ------------------------------------------------------------------
+    def compute(self, duration: float) -> ComputeEffect:
+        """Model ``duration`` time units of local CPU work."""
+        return ComputeEffect(duration)
+
+    def now(self) -> NowEffect:
+        """Read the virtual clock (replay-safe)."""
+        return NowEffect()
+
+    def random(self) -> RandomEffect:
+        """Uniform float in [0,1) from this process's stream (replay-safe)."""
+        return RandomEffect()
+
+    def emit(self, value: Any) -> EmitEffect:
+        """Produce an output value under the output-commit discipline:
+        withdrawn on rollback, committed once all assumptions resolve.
+        Read results with :meth:`HopeSystem.outputs` /
+        :meth:`HopeSystem.committed_outputs`."""
+        return EmitEffect(value)
+
+    def spawn(self, name: str, fn: Callable, *args: Any) -> SpawnEffect:
+        """Start another HOPE process; resumes with its name."""
+        return SpawnEffect(name, fn, *args)
+
+    def __repr__(self) -> str:
+        return f"HopeProcess({self.name!r})"
+
+
+def call(p: HopeProcess, dst: str, body: Any, corr: int):
+    """Sub-generator implementing a synchronous RPC (Figure 1's semantics).
+
+    Usage::
+
+        reply = yield from call(p, "printer", ("print", text), corr)
+
+    ``corr`` must be unique per outstanding request within the caller —
+    the :class:`CorrelationCounter` below provides replay-safe ids.
+    """
+    yield p.send(dst, RpcRequest(body, p.name, corr))
+    message = yield p.recv(
+        predicate=lambda m: isinstance(m.payload, RpcReply) and m.payload.corr == corr
+    )
+    return message.payload.body
+
+
+class CorrelationCounter:
+    """Replay-safe correlation ids.
+
+    Because process bodies re-execute deterministically during replay, a
+    plain local counter inside the body reproduces the same ids — this
+    helper just makes the idiom explicit.
+    """
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def next(self) -> int:
+        value = self._next
+        self._next += 1
+        return value

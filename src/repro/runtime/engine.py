@@ -1,0 +1,657 @@
+"""The HOPE runtime: the paper's prototype system rebuilt on the simulator.
+
+``HopeSystem`` wires together the four substrates:
+
+* the discrete-event simulator (:mod:`repro.sim`) — processes + messages;
+* the abstract machine (:mod:`repro.core`) — all IDO/DOM/IHD bookkeeping;
+* the effect log (:mod:`repro.runtime.replay`) — replay-based checkpoints;
+* the network (:mod:`repro.sim.channel`) — tagged, retractable messages.
+
+Responsibilities mirror §7 of the paper:
+
+* every send is automatically tagged with the sender's current assumption
+  dependencies;
+* receiving a tagged message automatically applies the implicit guesses
+  *before* the message reaches user-accessible state;
+* a denial rolls back every causal descendant: histories are truncated
+  (task restart + log replay), messages sent from discarded intervals are
+  retracted, and messages consumed by discarded intervals are redelivered;
+* dependency tracking never blocks a user process — all bookkeeping here
+  is synchronous metadata on an otherwise asynchronous message flow (the
+  distributed AID-task mode in :mod:`repro.runtime.aid_task` relaxes even
+  that, at the cost of latency in rollback propagation).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from ..core import (
+    AidStatus,
+    AssumptionId,
+    HopeError,
+    Machine,
+    MachineEvent,
+    RollbackEvent,
+)
+from ..sim import (
+    TIMED_OUT,
+    ConstantLatency,
+    FailureInjector,
+    LatencyModel,
+    Network,
+    RandomStreams,
+    Simulator,
+    Span,
+    Task,
+    Timeline,
+    Tracer,
+)
+from ..sim.channel import Message
+from ..sim.process import Effect
+from .api import AidHandle, AidRef, HopeProcess, aid_key
+from .effects import (
+    AffirmEffect,
+    AidInitEffect,
+    ComputeEffect,
+    DenyEffect,
+    EmitEffect,
+    FreeOfEffect,
+    GuessEffect,
+    HopeEffect,
+    NowEffect,
+    RandomEffect,
+    RecvEffect,
+    SendEffect,
+    SpawnEffect,
+)
+from .messages import ReceivedMessage
+from .replay import Checkpoint, EffectLog
+
+
+class SpeculativeSpawnError(HopeError):
+    """Spawning a process from a speculative interval is not supported.
+
+    The paper's model creates processes outside the optimistic machinery;
+    spawn before guessing, or send a message to a pre-spawned worker (the
+    message's tags carry the dependency instead).
+    """
+
+
+class OutputRecord:
+    """One emitted output: the value, where in the log it happened, and the
+    speculative interval (if any) whose fate it shares."""
+
+    __slots__ = ("value", "log_index", "interval", "time")
+
+    def __init__(self, value: Any, log_index: int, interval, time: float) -> None:
+        self.value = value
+        self.log_index = log_index
+        self.interval = interval
+        self.time = time
+
+    @property
+    def committed(self) -> bool:
+        """An output is committed once it depends on no live speculation."""
+        return self.interval is None or self.interval.definite
+
+    def __repr__(self) -> str:
+        state = "committed" if self.committed else "speculative"
+        return f"<Output {self.value!r} {state}>"
+
+
+class ProcessRuntime:
+    """Per-process runtime state: body, effect log, current task incarnation."""
+
+    def __init__(self, name: str, fn: Callable[..., Generator], args: tuple) -> None:
+        self.name = name
+        self.fn = fn
+        self.args = args
+        self.facade = HopeProcess(name)
+        self.log = EffectLog()
+        self.task: Optional[Task] = None
+        self.incarnation = 0
+        self.restarts = 0
+        self.done = False
+        self.result: Any = None
+        self.crashed = False
+        self.outputs: list[OutputRecord] = []
+
+    def body(self, env) -> Generator:
+        """Adapter: the sim Task calls ``fn(env)``; HOPE bodies take the facade."""
+        return self.fn(self.facade, *self.args)
+
+    def __repr__(self) -> str:
+        return f"<ProcessRuntime {self.name!r} inc={self.incarnation} restarts={self.restarts}>"
+
+
+class _RecvBridge:
+    """Stands in the mailbox wait queue on behalf of a HOPE task.
+
+    The mailbox thinks it is resuming a task; the bridge routes the
+    message through the engine first, so implicit guesses and dead-message
+    filtering happen before the process sees anything (§7: tagged-message
+    guesses precede delivery "into the user-accessible state").
+    """
+
+    __slots__ = ("engine", "proc", "effect", "incarnation", "_cleanups")
+
+    def __init__(self, engine: "HopeSystem", proc: ProcessRuntime, effect: RecvEffect) -> None:
+        self.engine = engine
+        self.proc = proc
+        self.effect = effect
+        self.incarnation = proc.incarnation
+        self._cleanups: list[Callable[[], None]] = []
+
+    # Mailbox-facing protocol (duck-typed Task):
+    def resume(self, value: Any) -> None:
+        self.engine._deliver(self.proc, self.effect, value, self)
+
+    def add_cleanup(self, fn: Callable[[], None]) -> None:
+        self._cleanups.append(fn)
+
+    def clear_cleanups(self) -> None:
+        self._cleanups.clear()
+
+    def cancel(self) -> None:
+        """Run mailbox-removal cleanups (invoked when the real task dies)."""
+        cleanups, self._cleanups = self._cleanups, []
+        for fn in cleanups:
+            fn()
+
+
+class HopeSystem:
+    """A complete HOPE world: spawn processes, run, inspect outcomes.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for all randomness (latency, process streams, failures).
+    latency:
+        Network latency model for user messages (default: 0 — a perfect
+        network; benchmarks pass explicit models).
+    rollback_overhead:
+        Virtual-time cost charged to a process when it restarts after a
+        rollback (models checkpoint-restore cost; the paper's prototype
+        calls its own mechanism "not particularly efficient").
+    trace:
+        Optional :class:`Tracer`; pass ``Tracer()`` to record everything.
+    strict_aids:
+        Forward the machine's strict resolution-conflict mode.  The
+        runtime default is lenient because rollback legitimately
+        re-executes resolution statements (see Figure 2's WorryWart).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        latency: Optional[LatencyModel] = None,
+        rollback_overhead: float = 0.0,
+        trace: Optional[Tracer] = None,
+        strict_aids: bool = False,
+        aid_mode: str = "registry",
+        control_latency: float = 1.0,
+        speculation: bool = True,
+        shuffle_ties: bool = False,
+    ) -> None:
+        self.streams = RandomStreams(seed)
+        if shuffle_ties:
+            # Permute the order of same-virtual-time events (seeded):
+            # genuinely concurrent events may fire in any order, and the
+            # model checker sweeps seeds to explore those interleavings.
+            tie_stream = self.streams["schedule-ties"]
+            self.sim = Simulator(
+                tie_breaker=lambda: tie_stream.randint(0, 1 << 30)
+            )
+        else:
+            self.sim = Simulator()
+        self.network = Network(self.sim, latency if latency is not None else ConstantLatency(0.0))
+        self.machine = Machine(strict=strict_aids)
+        self.machine.subscribe(self._on_machine_event)
+        self.tracer = trace if trace is not None else Tracer(categories=())
+        self.timeline = Timeline()
+        self.failures = FailureInjector(self.sim)
+        self.failures.attach(kill_fn=self.crash_process)
+        self.rollback_overhead = rollback_overhead
+        #: speculation=False turns every guess into a *blocking wait* for
+        #: the AID's resolution: the same program runs pessimistically —
+        #: the universal ablation (see _do_guess).  Programs whose AIDs
+        #: are resolved only by the guessing process itself would
+        #: deadlock in this mode; that is inherent, not a bug.
+        self.speculation = speculation
+        self._aid_waiters: dict[str, list] = {}
+        self.procs: dict[str, ProcessRuntime] = {}
+        self._handles: dict[str, AidHandle] = {}
+        from .aid_task import AidTaskControlPlane, RegistryControlPlane
+
+        if aid_mode == "registry":
+            self.control = RegistryControlPlane(self)
+        elif aid_mode == "aid_task":
+            self.control = AidTaskControlPlane(self, control_latency)
+        else:
+            raise HopeError(f"unknown aid_mode {aid_mode!r}")
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def spawn(self, name: str, fn: Callable[..., Generator], *args: Any) -> ProcessRuntime:
+        """Create and start a HOPE process running ``fn(p, *args)``."""
+        if name in self.procs:
+            raise HopeError(f"process {name!r} already exists")
+        proc = ProcessRuntime(name, fn, args)
+        self.procs[name] = proc
+        self.network.register(name)
+        self.machine.create_process(name)
+        self._start_task(proc, delay=0.0)
+        self.tracer.record(self.sim.now, "spawn", name)
+        return proc
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the simulation; returns the final virtual time."""
+        final = self.sim.run(until=until, max_events=max_events)
+        self.timeline.close_all(final)
+        return final
+
+    def aid(self, ref: AidRef) -> AssumptionId:
+        """Resolve a handle/key to the underlying machine AID."""
+        return self.machine.aid(aid_key(ref))
+
+    def aid_status(self, ref: AidRef) -> AidStatus:
+        return self.aid(ref).status
+
+    def result_of(self, name: str) -> Any:
+        proc = self.procs[name]
+        if not proc.done:
+            raise HopeError(f"process {name!r} has not finished (state: {proc.task.state if proc.task else '?'})")
+        return proc.result
+
+    def is_done(self, name: str) -> bool:
+        return self.procs[name].done
+
+    def crash_process(self, name: str) -> None:
+        """Crash a process: kill its task and drop its volatile effect log.
+
+        Used by failure injection (the optimistic-recovery application);
+        the process's machine record survives (it models the global
+        dependency state, which in the paper lives in AID bookkeeping,
+        not in the crashed node's volatile memory).
+        """
+        proc = self.procs[name]
+        if proc.task is not None and proc.task.alive:
+            proc.task.kill("crash")
+        proc.crashed = True
+        proc.incarnation += 1
+        self.machine.forget_process(name)
+        self.network.mailbox(name).purge()
+        proc.log.truncate(0)
+        # Outputs from forgotten intervals are permanently uncommitted
+        # (their intervals are now rolled back); drop them from the buffer.
+        proc.outputs = [r for r in proc.outputs if r.committed]
+        self.tracer.record(self.sim.now, "crash", name)
+
+    def restart_process(self, name: str) -> None:
+        """Restart a crashed process from scratch (volatile state lost)."""
+        proc = self.procs[name]
+        if not proc.crashed:
+            raise HopeError(f"process {name!r} is not crashed")
+        proc.crashed = False
+        proc.done = False
+        # Anything that landed while the node was down is lost too.
+        self.network.mailbox(name).purge()
+        self._start_task(proc, delay=0.0)
+        self.tracer.record(self.sim.now, "restart_after_crash", name)
+
+    def stats(self) -> dict:
+        """Aggregate runtime statistics for benchmarks and tests."""
+        machine = dict(self.machine.stats)
+        statuses = {"pending": 0, "affirmed": 0, "denied": 0}
+        for aid in self.machine.aids.values():
+            statuses[aid.status.value] += 1
+        return {
+            **machine,
+            "aids_pending": statuses["pending"],
+            "aids_affirmed": statuses["affirmed"],
+            "aids_denied": statuses["denied"],
+            "aid_mode": self.control.name,
+            "control_messages": self.control.control_messages,
+            "messages_sent": self.network.messages_sent,
+            "tags_attached": self.network.tag_count_total,
+            "sim_events": self.sim.events_processed,
+            "restarts": sum(p.restarts for p in self.procs.values()),
+            "replayed_effects": sum(p.log.replayed_entries_total for p in self.procs.values()),
+            "wasted_time": self.timeline.aggregate(Span.WASTED),
+            "busy_time": self.timeline.aggregate(Span.BUSY),
+        }
+
+    def pending_aids(self) -> list[AssumptionId]:
+        """AIDs never affirmed or denied — a smell for stuck programs."""
+        return [a for a in self.machine.aids.values() if a.pending]
+
+    # ------------------------------------------------------------------
+    # task lifecycle
+    # ------------------------------------------------------------------
+    def _start_task(self, proc: ProcessRuntime, delay: float) -> None:
+        proc.log.begin_replay()
+        task = Task(
+            self.sim,
+            proc.name,
+            proc.body,
+            handler=self._handle_effect,
+            on_exit=self._on_task_exit,
+            context=proc,
+        )
+        proc.task = task
+        task.start(delay=delay)
+
+    def _on_task_exit(self, task: Task) -> None:
+        proc: ProcessRuntime = task.env.context
+        if task is not proc.task:
+            return  # an old incarnation being killed
+        if task.done:
+            proc.done = True
+            proc.result = task.result
+            self.tracer.record(self.sim.now, "exit", proc.name)
+
+    # ------------------------------------------------------------------
+    # effect dispatch
+    # ------------------------------------------------------------------
+    def _handle_effect(self, task: Task, effect: Effect) -> None:
+        proc: ProcessRuntime = task.env.context
+        if not isinstance(effect, HopeEffect):
+            raise HopeError(
+                f"HOPE process {proc.name!r} yielded non-HOPE effect {effect!r}; "
+                "use the HopeProcess facade (p.compute / p.recv / ...) so the "
+                "effect log stays replayable"
+            )
+        if proc.log.replaying:
+            result = proc.log.feed(effect.kind)
+            task.resume(result)
+            return
+        handler = self._LIVE_HANDLERS[type(effect)]
+        handler(self, proc, task, effect)
+
+    # ---- live handlers -------------------------------------------------
+    def _do_aid_init(self, proc, task, effect: AidInitEffect) -> None:
+        aid = self.machine.aid_init(effect.name)
+        handle = AidHandle(aid.key, effect.name)
+        self._handles[aid.key] = handle
+        proc.log.append("aid_init", handle)
+        self.tracer.record(self.sim.now, "aid_init", proc.name, aid=aid.key)
+        task.resume(handle)
+
+    def _do_guess(self, proc, task, effect: GuessEffect) -> None:
+        aid = self.machine.aid(effect.aid_key)
+        if not self.speculation and aid.pending:
+            # Pessimistic mode: wait for the resolution instead of
+            # speculating.  The process stays definite throughout.
+            self.timeline.process(proc.name).mark(Span.BLOCKED, self.sim.now)
+            self._aid_waiters.setdefault(aid.key, []).append(
+                (proc, task, proc.incarnation)
+            )
+            self.tracer.record(
+                self.sim.now, "guess_wait", proc.name, aid=aid.key
+            )
+            return
+        checkpoint = Checkpoint(len(proc.log), self.sim.now)
+        value = self.machine.guess(proc.name, aid, ps=checkpoint)
+        if value and aid.pending:
+            self.control.note_guess(proc.name, 1)
+        proc.log.append("guess", value)
+        self.tracer.record(
+            self.sim.now, "guess", proc.name, aid=aid.key, value=value
+        )
+        task.resume(value)
+
+    def _do_resolution(self, proc, task, effect) -> None:
+        """affirm / deny / free_of share the may-roll-back-self pattern."""
+        aid = self.machine.aid(effect.aid_key)
+        before = proc.incarnation
+        if isinstance(effect, AffirmEffect):
+            self.control.issue("affirm", proc.name, aid)
+        elif isinstance(effect, DenyEffect):
+            self.control.issue("deny", proc.name, aid)
+        else:
+            self.control.issue("free_of", proc.name, aid)
+        self.tracer.record(
+            self.sim.now, effect.kind, proc.name, aid=aid.key, status=aid.status.value
+        )
+        if proc.incarnation != before:
+            # The primitive rolled back its own executor (e.g. a free_of
+            # violation).  A restart is already scheduled; the statement's
+            # log entry died in the truncation, so neither log nor resume.
+            return
+        proc.log.append(effect.kind, None)
+        task.resume(None)
+
+    def _do_send(self, proc, task, effect: SendEffect) -> None:
+        deps = self.machine.dependencies_of(proc.name)
+        tags = frozenset(a.key for a in deps)
+        delivery = self.network.send(proc.name, effect.dst, effect.payload, tags=tags)
+        current = self.machine.process(proc.name).current
+        if current is not None:
+            current.meta.setdefault("sent", []).append(delivery)
+        proc.log.append("send", delivery.message.msg_id)
+        self.tracer.record(
+            self.sim.now, "send", proc.name, dst=effect.dst, tags=len(tags)
+        )
+        task.resume(delivery.message.msg_id)
+
+    def _do_recv(self, proc, task, effect: RecvEffect) -> None:
+        bridge = _RecvBridge(self, proc, effect)
+        task.add_cleanup(bridge.cancel)
+        self.timeline.process(proc.name).mark(Span.BLOCKED, self.sim.now)
+        self._register_bridge(bridge)
+
+    def _register_bridge(self, bridge: _RecvBridge) -> None:
+        mailbox = self.network.mailbox(bridge.proc.name)
+        mailbox.register_receiver(bridge, bridge.effect.timeout, bridge.effect.predicate)
+
+    def _do_compute(self, proc, task, effect: ComputeEffect) -> None:
+        self.timeline.process(proc.name).mark(Span.BUSY, self.sim.now)
+        task._pending = self.sim.schedule(
+            effect.duration,
+            self._finish_compute,
+            proc,
+            task,
+            label=f"compute:{proc.name}",
+        )
+
+    def _finish_compute(self, proc: ProcessRuntime, task: Task) -> None:
+        self.timeline.process(proc.name).mark(Span.BLOCKED, self.sim.now)
+        proc.log.append("compute", None)
+        task.resume_inline(None)
+
+    def _do_now(self, proc, task, effect: NowEffect) -> None:
+        value = self.sim.now
+        proc.log.append("now", value)
+        task.resume(value)
+
+    def _do_random(self, proc, task, effect: RandomEffect) -> None:
+        value = self.streams[f"proc:{proc.name}"].random()
+        proc.log.append("random", value)
+        task.resume(value)
+
+    def _do_emit(self, proc, task, effect: EmitEffect) -> None:
+        current = self.machine.process(proc.name).current
+        record = OutputRecord(effect.value, len(proc.log), current, self.sim.now)
+        proc.outputs.append(record)
+        proc.log.append("emit", None)
+        self.tracer.record(
+            self.sim.now,
+            "emit",
+            proc.name,
+            value=repr(effect.value),
+            speculative=current is not None,
+        )
+        task.resume(None)
+
+    def _do_spawn(self, proc, task, effect: SpawnEffect) -> None:
+        if self.machine.process(proc.name).current is not None:
+            raise SpeculativeSpawnError(
+                f"{proc.name!r} tried to spawn {effect.name!r} while speculative"
+            )
+        self.spawn(effect.name, effect.fn, *effect.args)
+        proc.log.append("spawn", effect.name)
+        task.resume(effect.name)
+
+    _LIVE_HANDLERS = {
+        AidInitEffect: _do_aid_init,
+        GuessEffect: _do_guess,
+        AffirmEffect: _do_resolution,
+        DenyEffect: _do_resolution,
+        FreeOfEffect: _do_resolution,
+        SendEffect: _do_send,
+        RecvEffect: _do_recv,
+        ComputeEffect: _do_compute,
+        NowEffect: _do_now,
+        RandomEffect: _do_random,
+        EmitEffect: _do_emit,
+        SpawnEffect: _do_spawn,
+    }
+
+    # ------------------------------------------------------------------
+    # outputs (output-commit discipline)
+    # ------------------------------------------------------------------
+    def outputs(self, name: str) -> list[Any]:
+        """All currently standing outputs of ``name`` (speculative included)."""
+        return [record.value for record in self.procs[name].outputs]
+
+    def committed_outputs(self, name: str) -> list[Any]:
+        """Outputs that no live speculation can withdraw anymore."""
+        return [r.value for r in self.procs[name].outputs if r.committed]
+
+    # ------------------------------------------------------------------
+    # message delivery (via bridges)
+    # ------------------------------------------------------------------
+    def _deliver(
+        self,
+        proc: ProcessRuntime,
+        effect: RecvEffect,
+        value: Any,
+        bridge: _RecvBridge,
+    ) -> None:
+        if proc.incarnation != bridge.incarnation:
+            return  # stale delivery aimed at a rolled-back incarnation
+        task = proc.task
+        assert task is not None
+        if value is TIMED_OUT:
+            proc.log.append("recv", TIMED_OUT)
+            self.tracer.record(self.sim.now, "recv_timeout", proc.name)
+            task.clear_cleanups()
+            task.resume(TIMED_OUT)
+            return
+        message: Message = value
+        if message.dead:
+            self._register_bridge(bridge)
+            return
+        live, deps = self._resolve_message_tags(message)
+        if not live:
+            self.tracer.record(
+                self.sim.now, "drop_dead_message", proc.name, msg=message.msg_id
+            )
+            self._register_bridge(bridge)
+            return
+        if deps:
+            checkpoint = Checkpoint(len(proc.log), self.sim.now)
+            interval = self.machine.guess_many(proc.name, deps, ps=checkpoint)
+            if interval is not None:
+                self.control.note_guess(proc.name, len(deps))
+                self.tracer.record(
+                    self.sim.now,
+                    "implicit_guess",
+                    proc.name,
+                    aids=tuple(sorted(a.key for a in deps)),
+                )
+        received = ReceivedMessage(message.payload, message.src, message.msg_id)
+        current = self.machine.process(proc.name).current
+        if current is not None:
+            current.meta.setdefault("received", []).append(message)
+        proc.log.append("recv", received)
+        self.tracer.record(
+            self.sim.now, "recv", proc.name, src=message.src, msg=message.msg_id
+        )
+        task.clear_cleanups()
+        task.resume(received)
+
+    def _resolve_message_tags(self, message: Message):
+        tag_aids = [self.machine.aid(key) for key in message.tags]
+        return self.machine.resolve_tags(tag_aids)
+
+    # ------------------------------------------------------------------
+    # rollback propagation
+    # ------------------------------------------------------------------
+    def _on_machine_event(self, event: MachineEvent) -> None:
+        if isinstance(event, RollbackEvent):
+            self._apply_rollback(event)
+        if self._aid_waiters:
+            self._wake_aid_waiters()
+
+    def _wake_aid_waiters(self) -> None:
+        """Resume pessimistic-mode guessers whose AIDs have resolved."""
+        for key in list(self._aid_waiters):
+            aid = self.machine.aids.get(key)
+            if aid is None or aid.pending:
+                continue
+            waiters = self._aid_waiters.pop(key)
+            for proc, task, incarnation in waiters:
+                if proc.incarnation != incarnation or not task.alive:
+                    continue
+                value = self.machine.guess(proc.name, aid)  # guess_skip path
+                proc.log.append("guess", value)
+                self.tracer.record(
+                    self.sim.now, "guess", proc.name, aid=aid.key, value=value
+                )
+                task.resume(value)
+
+    def _apply_rollback(self, event: RollbackEvent) -> None:
+        proc = self.procs.get(event.pid)
+        if proc is None:
+            # A process known to the machine but not the runtime (pure
+            # machine users, e.g. the oracle) — bookkeeping only.
+            return
+        checkpoint: Checkpoint = event.resume_interval.ps
+        redeliver: list[Message] = []
+        for dead in event.discarded:
+            for delivery in dead.meta.get("sent", ()):
+                delivery.retract()
+            for message in dead.meta.get("received", ()):
+                if not message.dead:
+                    redeliver.append(message)
+        self.tracer.record(
+            self.sim.now,
+            "rollback",
+            proc.name,
+            to_log_index=checkpoint.log_index,
+            discarded=len(event.discarded),
+            cause=event.cause.key if event.cause is not None else None,
+        )
+        # Kill the current incarnation first so redelivered messages do not
+        # reach its (now invalid) receive bridge.
+        proc.incarnation += 1
+        if proc.task is not None and proc.task.alive:
+            proc.task.kill("rollback")
+        proc.done = False
+        proc.log.truncate(checkpoint.log_index)
+        # Withdraw speculative outputs produced after the checkpoint
+        # (the output-commit discipline: uncommitted outputs die with the
+        # speculation that produced them).
+        proc.outputs = [
+            r for r in proc.outputs if r.log_index < checkpoint.log_index
+        ]
+        wasted = self.timeline.process(proc.name).reclassify_since(
+            checkpoint.time, Span.WASTED, self.sim.now
+        )
+        if redeliver:
+            redeliver.sort(key=lambda m: (m.deliver_time, m.msg_id))
+            self.network.mailbox(proc.name).requeue_front(redeliver)
+        proc.restarts += 1
+        self._start_task(
+            proc, delay=self.rollback_overhead + self.control.notify_delay()
+        )
+        self.tracer.record(
+            self.sim.now,
+            "restart",
+            proc.name,
+            replay=len(proc.log),
+            wasted=round(wasted, 6),
+        )

@@ -1,0 +1,56 @@
+"""Message payload conventions: received envelopes and RPC helpers.
+
+HOPE payloads should be treated as immutable by user code — a rollback
+replays the logged :class:`ReceivedMessage` object, so mutating a payload
+would desynchronize the replayed incarnation from the original.  The
+provided types are frozen to make the right thing the easy thing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class ReceivedMessage:
+    """What a HOPE recv resumes with: payload plus envelope metadata."""
+
+    payload: Any
+    src: str
+    msg_id: int
+
+    def __repr__(self) -> str:
+        return f"ReceivedMessage({self.payload!r} from {self.src!r})"
+
+
+@dataclass(frozen=True)
+class RpcRequest:
+    """An RPC request envelope: ``call`` wraps payloads in one of these.
+
+    Servers receive a :class:`ReceivedMessage` whose payload is an
+    ``RpcRequest`` and answer with ``p.reply(msg, result)``.
+    """
+
+    body: Any
+    reply_to: str
+    corr: int
+
+    def __repr__(self) -> str:
+        return f"RpcRequest({self.body!r} reply_to={self.reply_to!r} corr={self.corr})"
+
+
+@dataclass(frozen=True)
+class RpcReply:
+    """An RPC reply envelope, matched to its request by ``corr``."""
+
+    body: Any
+    corr: int
+
+    def __repr__(self) -> str:
+        return f"RpcReply({self.body!r} corr={self.corr})"
+
+
+def is_reply_to(message_payload: Any, corr: int) -> bool:
+    """Predicate: is this payload the reply with correlation id ``corr``?"""
+    return isinstance(message_payload, RpcReply) and message_payload.corr == corr

@@ -1,0 +1,132 @@
+"""Replay-based checkpointing: the effect log.
+
+The paper's prototype takes state checkpoints at every guess ("simple and
+fairly portable, but not particularly efficient", §7).  Python generators
+cannot be snapshotted mid-frame, so we substitute *deterministic replay*:
+the engine logs every effect result; a checkpoint is just an index into
+that log.  Restoring a checkpoint = restarting the process function and
+feeding it the logged results up to the index — the process deterministically
+re-reaches the exact pre-guess state without touching the outside world.
+
+The substitution is behaviour-preserving because a HOPE process's state is
+a pure function of its effect results (all nondeterminism — time, messages,
+randomness — flows through effects).  It is also *measurable*: the CKPT
+benchmark charges real wall-clock for replays, matching the paper's remark
+that their checkpointing is the inefficiency to optimize.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.errors import HopeError
+
+
+class ReplayDivergenceError(HopeError):
+    """The re-executed process yielded a different effect than the log.
+
+    This means the process body is not deterministic given its effect
+    results (e.g. it consulted global mutable state or an unlogged RNG) —
+    replay-based rollback is unsound for such a process, so we fail loudly.
+    """
+
+
+class LogEntry:
+    """One performed effect and its result."""
+
+    __slots__ = ("kind", "result")
+
+    def __init__(self, kind: str, result: Any) -> None:
+        self.kind = kind
+        self.result = result
+
+    def __repr__(self) -> str:
+        return f"LogEntry({self.kind}, {self.result!r})"
+
+
+class Checkpoint:
+    """A guess-point checkpoint: a log position plus the virtual time.
+
+    Stored in the interval's ``A.PS`` slot (Eq 1).  ``log_index`` is the
+    number of log entries that precede the guess — replay feeds exactly
+    that many results, then the process re-executes live from the guess
+    statement.
+    """
+
+    __slots__ = ("log_index", "time")
+
+    def __init__(self, log_index: int, time: float) -> None:
+        self.log_index = log_index
+        self.time = time
+
+    def __repr__(self) -> str:
+        return f"Checkpoint(log_index={self.log_index}, t={self.time:.4f})"
+
+
+class EffectLog:
+    """The per-process effect journal with a replay cursor.
+
+    Live execution appends entries; after a rollback the engine truncates
+    to the checkpoint and the new incarnation consumes entries via
+    :meth:`feed` until the cursor reaches the end, at which point the
+    process is live again.
+    """
+
+    def __init__(self) -> None:
+        self.entries: list[LogEntry] = []
+        self.cursor = 0
+        self.replay_count = 0
+        self.replayed_entries_total = 0
+
+    # ------------------------------------------------------------------
+    # live side
+    # ------------------------------------------------------------------
+    def append(self, kind: str, result: Any) -> None:
+        self.entries.append(LogEntry(kind, result))
+        # Live appends keep the cursor at the tail so ``replaying`` stays
+        # False; only begin_replay rewinds it.
+        self.cursor = len(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # ------------------------------------------------------------------
+    # replay side
+    # ------------------------------------------------------------------
+    @property
+    def replaying(self) -> bool:
+        return self.cursor < len(self.entries)
+
+    def begin_replay(self) -> None:
+        """Reset the cursor for a fresh incarnation."""
+        self.cursor = 0
+        if self.entries:
+            self.replay_count += 1
+
+    def feed(self, kind: str) -> Any:
+        """Return the logged result for the next effect, checking its kind."""
+        entry = self.entries[self.cursor]
+        if entry.kind != kind:
+            raise ReplayDivergenceError(
+                f"replay divergence at entry {self.cursor}: process yielded "
+                f"{kind!r} but the log recorded {entry.kind!r} — the process "
+                "body is not deterministic in its effect results"
+            )
+        self.cursor += 1
+        self.replayed_entries_total += 1
+        return entry.result
+
+    def truncate(self, index: int) -> int:
+        """Drop entries from ``index`` on; returns how many were dropped."""
+        dropped = len(self.entries) - index
+        if dropped < 0:
+            raise HopeError(
+                f"log truncation index {index} beyond log length {len(self.entries)}"
+            )
+        del self.entries[index:]
+        if self.cursor > index:
+            self.cursor = index
+        return dropped
+
+    def __repr__(self) -> str:
+        return f"<EffectLog {self.cursor}/{len(self.entries)} replays={self.replay_count}>"

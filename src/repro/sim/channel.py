@@ -1,0 +1,296 @@
+"""Messaging: mailboxes, message envelopes, and the simulated network.
+
+HOPE is defined for "any system providing concurrent processes that
+communicate with messages" (§3).  This module is that system: each named
+process owns a :class:`Mailbox`; a :class:`Network` routes
+:class:`Message` envelopes between mailboxes with a pluggable latency
+model.
+
+Two affordances exist specifically for optimism:
+
+* a :class:`Delivery` handle can be *retracted* before or after delivery —
+  how the HOPE runtime kills messages sent from a rolled-back interval;
+* envelopes carry a ``tags`` set — the AIDs the sender depended on, which
+  drive the receiver's implicit ``guess`` (§3, §7).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Any, Callable, Iterable, Optional
+
+from .kernel import ScheduledEvent, SimulationError, Simulator
+from .latency import ConstantLatency, LatencyModel
+from .process import TIMED_OUT, Task
+
+_msg_ids = itertools.count(1)
+
+
+class Message:
+    """An envelope in flight or in a mailbox.
+
+    ``tags`` is the set of assumption identifiers the sender depended on at
+    send time (empty for definite sends).  ``dead`` marks a message
+    retracted by rollback; mailboxes silently drop dead messages.
+    """
+
+    __slots__ = ("msg_id", "src", "dst", "payload", "tags", "send_time", "deliver_time", "dead")
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        payload: Any,
+        tags: Optional[frozenset] = None,
+        send_time: float = 0.0,
+        msg_id: Optional[int] = None,
+    ) -> None:
+        self.msg_id = msg_id if msg_id is not None else next(_msg_ids)
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.tags = tags or frozenset()
+        self.send_time = send_time
+        self.deliver_time: Optional[float] = None
+        self.dead = False
+
+    def __repr__(self) -> str:
+        flags = " dead" if self.dead else ""
+        return f"<Message #{self.msg_id} {self.src}->{self.dst} {self.payload!r}{flags}>"
+
+
+class Delivery:
+    """Handle on a sent message; supports retraction at any point.
+
+    Before delivery, :meth:`retract` cancels the scheduled delivery event.
+    After delivery but before receipt, the message is marked dead and the
+    mailbox drops it.  After receipt, marking it dead is still meaningful:
+    the HOPE runtime checks ``message.dead`` when deciding whether a
+    rolled-back receive should be redelivered.
+    """
+
+    __slots__ = ("message", "_event")
+
+    def __init__(self, message: Message, event: Optional[ScheduledEvent]) -> None:
+        self.message = message
+        self._event = event
+
+    def retract(self) -> None:
+        self.message.dead = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    @property
+    def delivered(self) -> bool:
+        return self.message.deliver_time is not None
+
+    def __repr__(self) -> str:
+        return f"Delivery({self.message!r})"
+
+
+class _Waiter:
+    """A task blocked on a mailbox, with an optional timeout timer."""
+
+    __slots__ = ("task", "timer", "predicate")
+
+    def __init__(self, task: Task, timer: Optional[ScheduledEvent], predicate) -> None:
+        self.task = task
+        self.timer = timer
+        self.predicate = predicate
+
+
+class Mailbox:
+    """FIFO of messages for one process, with blocking receivers.
+
+    Receivers may pass a ``predicate`` to receive selectively (used by RPC
+    reply matching); unmatched messages stay queued in order.
+    """
+
+    def __init__(self, sim: Simulator, owner: str) -> None:
+        self.sim = sim
+        self.owner = owner
+        self._queue: deque[Message] = deque()
+        self._waiters: deque[_Waiter] = deque()
+        self.delivered_count = 0
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+    def put(self, message: Message) -> None:
+        """Deliver a message: hand it to the first matching waiter or queue it."""
+        if message.dead:
+            return
+        message.deliver_time = self.sim.now
+        self.delivered_count += 1
+        for waiter in list(self._waiters):
+            if waiter.predicate is None or waiter.predicate(message):
+                self._waiters.remove(waiter)
+                if waiter.timer is not None:
+                    waiter.timer.cancel()
+                waiter.task.clear_cleanups()
+                waiter.task.resume(message)
+                return
+        self._queue.append(message)
+
+    def requeue_front(self, messages: Iterable[Message]) -> None:
+        """Put messages back at the head, preserving their relative order.
+
+        Used when a rollback un-receives messages whose senders survived:
+        they must be redelivered in the original order.
+        """
+        for message in reversed(list(messages)):
+            if not message.dead:
+                self._queue.appendleft(message)
+        self._wake_matching()
+
+    # ------------------------------------------------------------------
+    # consumer side
+    # ------------------------------------------------------------------
+    def register_receiver(
+        self,
+        task: Task,
+        timeout: Optional[float] = None,
+        predicate: Optional[Callable[[Message], bool]] = None,
+    ) -> None:
+        """Attach a blocked receiver; resumes with a Message or TIMED_OUT."""
+        self._drop_dead()
+        for idx, message in enumerate(self._queue):
+            if predicate is None or predicate(message):
+                del self._queue[idx]
+                task.resume(message)
+                return
+        timer: Optional[ScheduledEvent] = None
+        waiter = _Waiter(task, None, predicate)
+        if timeout is not None:
+            timer = self.sim.schedule(
+                timeout, self._timeout_waiter, waiter, label=f"recv-timeout:{self.owner}"
+            )
+            waiter.timer = timer
+        self._waiters.append(waiter)
+        task.add_cleanup(lambda: self._remove_waiter(waiter))
+
+    def _timeout_waiter(self, waiter: _Waiter) -> None:
+        if waiter in self._waiters:
+            self._waiters.remove(waiter)
+            waiter.task.clear_cleanups()
+            waiter.task.resume(TIMED_OUT)
+
+    def _remove_waiter(self, waiter: _Waiter) -> None:
+        if waiter in self._waiters:
+            self._waiters.remove(waiter)
+        if waiter.timer is not None:
+            waiter.timer.cancel()
+
+    def _wake_matching(self) -> None:
+        """After a requeue, hand queued messages to any compatible waiters."""
+        progress = True
+        while progress and self._queue and self._waiters:
+            progress = False
+            for waiter in list(self._waiters):
+                delivered = None
+                for idx, message in enumerate(self._queue):
+                    if waiter.predicate is None or waiter.predicate(message):
+                        delivered = idx
+                        break
+                if delivered is not None:
+                    message = self._queue[delivered]
+                    del self._queue[delivered]
+                    self._waiters.remove(waiter)
+                    if waiter.timer is not None:
+                        waiter.timer.cancel()
+                    waiter.task.clear_cleanups()
+                    waiter.task.resume(message)
+                    progress = True
+                    break
+
+    def _drop_dead(self) -> None:
+        self._queue = deque(m for m in self._queue if not m.dead)
+
+    def purge(self) -> int:
+        """Discard all queued messages (crash semantics: a dead node's
+        buffered input is lost).  Returns how many were dropped."""
+        dropped = len(self._queue)
+        self._queue.clear()
+        return dropped
+
+    def __len__(self) -> int:
+        self._drop_dead()
+        return len(self._queue)
+
+    def peek_all(self) -> list[Message]:
+        """Snapshot of queued (undelivered-to-task) live messages."""
+        self._drop_dead()
+        return list(self._queue)
+
+    def __repr__(self) -> str:
+        return f"<Mailbox {self.owner!r} queued={len(self._queue)} waiters={len(self._waiters)}>"
+
+
+class UnknownEndpointError(SimulationError):
+    """A message was addressed to a process the network has never seen."""
+
+
+class Network:
+    """Routes messages between named endpoints with modelled latency.
+
+    Statistics (``messages_sent``, ``bytes_proxy``) feed the
+    dependency-tracking-overhead benchmark (experiment TRACK).
+    """
+
+    def __init__(self, sim: Simulator, latency: Optional[LatencyModel] = None) -> None:
+        self.sim = sim
+        self.latency = latency if latency is not None else ConstantLatency(0.0)
+        self._mailboxes: dict[str, Mailbox] = {}
+        self.messages_sent = 0
+        self.tag_count_total = 0
+
+    def register(self, name: str) -> Mailbox:
+        """Create (or fetch) the mailbox for endpoint ``name``."""
+        box = self._mailboxes.get(name)
+        if box is None:
+            box = Mailbox(self.sim, name)
+            self._mailboxes[name] = box
+        return box
+
+    def mailbox(self, name: str) -> Mailbox:
+        box = self._mailboxes.get(name)
+        if box is None:
+            raise UnknownEndpointError(f"no endpoint named {name!r}")
+        return box
+
+    def has_endpoint(self, name: str) -> bool:
+        return name in self._mailboxes
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        payload: Any,
+        tags: Optional[frozenset] = None,
+        latency_override: Optional[float] = None,
+    ) -> Delivery:
+        """Send ``payload`` from ``src`` to ``dst``; returns a retractable handle."""
+        box = self.mailbox(dst)
+        # message ids are per-network so equal seeds replay identically
+        message = Message(
+            src, dst, payload, tags,
+            send_time=self.sim.now,
+            msg_id=self.messages_sent + 1,
+        )
+        delay = (
+            latency_override
+            if latency_override is not None
+            else self.latency.sample(src, dst)
+        )
+        event = self.sim.schedule(delay, box.put, message, label=f"deliver:{src}->{dst}")
+        self.messages_sent += 1
+        self.tag_count_total += len(message.tags)
+        return Delivery(message, event)
+
+    def endpoints(self) -> list[str]:
+        return sorted(self._mailboxes)
+
+    def __repr__(self) -> str:
+        return f"<Network endpoints={len(self._mailboxes)} sent={self.messages_sent}>"

@@ -1,0 +1,111 @@
+"""Failure injection: crash processes at chosen or random times.
+
+Used by the optimistic-recovery application (:mod:`repro.apps.recovery`) —
+the original domain of optimism per Strom & Yemini [24] — and by
+fault-injection tests that check the HOPE runtime keeps global consistency
+when speculative processes die.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .kernel import ScheduledEvent, Simulator
+from .random import RandomStream
+
+
+class CrashRecord:
+    """One injected crash: who, when, and whether a restart was requested."""
+
+    __slots__ = ("process", "time", "restarted")
+
+    def __init__(self, process: str, time: float, restarted: bool) -> None:
+        self.process = process
+        self.time = time
+        self.restarted = restarted
+
+    def __repr__(self) -> str:
+        suffix = " restarted" if self.restarted else ""
+        return f"<Crash {self.process!r} t={self.time:.4f}{suffix}>"
+
+
+class FailureInjector:
+    """Schedules crashes against a kill function supplied by the runtime.
+
+    The injector is runtime-agnostic: callers register a ``kill_fn`` that
+    maps a process name to the act of crashing it (killing its task,
+    dropping its volatile state).  An optional ``restart_fn`` models
+    recovery from stable storage.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.crashes: list[CrashRecord] = []
+        self._kill_fn: Optional[Callable[[str], None]] = None
+        self._restart_fn: Optional[Callable[[str], None]] = None
+        self._pending: list[ScheduledEvent] = []
+
+    def attach(
+        self,
+        kill_fn: Callable[[str], None],
+        restart_fn: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        """Wire the injector to a runtime's crash/restart operations."""
+        self._kill_fn = kill_fn
+        self._restart_fn = restart_fn
+
+    def crash_at(self, process: str, time: float, restart_after: Optional[float] = None) -> None:
+        """Crash ``process`` at absolute virtual ``time``.
+
+        If ``restart_after`` is given, the process restarts that many time
+        units after the crash (requires a ``restart_fn``).
+        """
+        self._pending.append(
+            self.sim.schedule_at(
+                time, self._do_crash, process, restart_after, label=f"crash:{process}"
+            )
+        )
+
+    def crash_randomly(
+        self,
+        process: str,
+        rate: float,
+        stream: RandomStream,
+        horizon: float,
+        restart_after: Optional[float] = None,
+    ) -> int:
+        """Schedule Poisson crashes for ``process`` up to virtual ``horizon``.
+
+        Returns how many crashes were scheduled.
+        """
+        if rate <= 0:
+            return 0
+        scheduled = 0
+        t = self.sim.now + stream.expovariate(rate)
+        while t < horizon:
+            self.crash_at(process, t, restart_after)
+            scheduled += 1
+            t += stream.expovariate(rate)
+        return scheduled
+
+    def cancel_all(self) -> None:
+        for event in self._pending:
+            event.cancel()
+        self._pending.clear()
+
+    def _do_crash(self, process: str, restart_after: Optional[float]) -> None:
+        if self._kill_fn is None:
+            raise RuntimeError("FailureInjector.attach() was never called")
+        self._kill_fn(process)
+        will_restart = restart_after is not None and self._restart_fn is not None
+        self.crashes.append(CrashRecord(process, self.sim.now, will_restart))
+        if will_restart:
+            assert restart_after is not None
+            self.sim.schedule(
+                restart_after, self._restart_fn, process, label=f"restart:{process}"
+            )
+
+    def crash_count(self, process: Optional[str] = None) -> int:
+        if process is None:
+            return len(self.crashes)
+        return sum(1 for c in self.crashes if c.process == process)

@@ -1,0 +1,232 @@
+"""Discrete-event simulation kernel.
+
+The kernel provides a virtual clock and an event heap.  Everything else in
+the simulator (processes, channels, failures) is built from two operations:
+
+* :meth:`Simulator.schedule` — run a callback at a later virtual time;
+* :meth:`Simulator.run` — pop events in time order until exhaustion.
+
+Virtual time is a float measured in abstract "time units".  The paper's
+latency argument (30 ms coast-to-coast photons vs. 3 million instructions)
+only depends on *ratios* of latency to compute, so units are deliberately
+abstract; benchmarks pick ratios, not microseconds.
+
+Determinism: events at the same timestamp fire in scheduling order (a
+monotonically increasing sequence number breaks ties), so a simulation with
+a fixed RNG seed is fully reproducible.  This is what makes the HOPE
+verification harness (``repro.verify``) able to replay schedules exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class SimulationError(Exception):
+    """Base class for all simulator-level errors."""
+
+
+class ScheduleInPastError(SimulationError):
+    """Raised when an event is scheduled at a negative delay."""
+
+
+class EventLimitExceeded(SimulationError):
+    """Raised when a run exceeds ``max_events`` — usually a livelock."""
+
+
+class ScheduledEvent:
+    """A pending callback in the event heap.
+
+    Events are cancellable: :meth:`cancel` marks the event dead and the run
+    loop discards it when popped.  This is how timeouts that lost a race and
+    messages that were rolled back are retracted.
+
+    ``priority`` breaks ties between events at the same virtual time:
+    0 by default (scheduling order — FIFO), or a seeded random draw when
+    the simulator was built with a tie-break stream, which is how the
+    model checker explores alternative interleavings of genuinely
+    concurrent events.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "label", "priority")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., None],
+        args: tuple,
+        label: str = "",
+        priority: int = 0,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.label = label
+        self.priority = priority
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<ScheduledEvent t={self.time:.6g} #{self.seq} {self.label or self.fn!r} {state}>"
+
+
+class Simulator:
+    """The event loop: a virtual clock plus a heap of scheduled callbacks.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1.5, print, "hello at t=1.5")
+        sim.run()
+
+    Higher layers rarely call :meth:`schedule` directly; they use
+    :class:`repro.sim.process.Task` coroutines and
+    :class:`repro.sim.channel.Network` messaging, which are built on it.
+    """
+
+    def __init__(self, tie_breaker: Optional[Callable[[], int]] = None) -> None:
+        self._now: float = 0.0
+        self._heap: list[ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+        self._running = False
+        self._stopped = False
+        #: optional per-event priority source; permutes same-time orderings
+        #: (used by the schedule-exploring model checker)
+        self._tie_breaker = tie_breaker
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (for overhead accounting)."""
+        return self._events_processed
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``fn(*args)`` to run ``delay`` time units from now.
+
+        Returns the :class:`ScheduledEvent`, which the caller may
+        :meth:`~ScheduledEvent.cancel`.  ``delay`` must be >= 0.
+        """
+        if delay < 0:
+            raise ScheduleInPastError(f"cannot schedule {delay} time units in the past")
+        priority = self._tie_breaker() if self._tie_breaker is not None else 0
+        event = ScheduledEvent(
+            self._now + delay, next(self._seq), fn, args, label, priority
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``fn(*args)`` at absolute virtual time ``time``."""
+        return self.schedule(time - self._now, fn, *args, label=label)
+
+    def call_soon(self, fn: Callable[..., None], *args: Any, label: str = "") -> ScheduledEvent:
+        """Schedule ``fn(*args)`` at the current time, after pending same-time events."""
+        return self.schedule(0.0, fn, *args, label=label)
+
+    # ------------------------------------------------------------------
+    # run loop
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the heap is empty, ``until`` is reached, or ``max_events``.
+
+        Returns the final virtual time.  ``until`` is inclusive: events at
+        exactly ``until`` fire.  A ``max_events`` bound turns a livelocked
+        simulation into a diagnosable :class:`EventLimitExceeded` instead of
+        a hang.
+        """
+        self._running = True
+        self._stopped = False
+        budget = max_events
+        try:
+            while self._heap:
+                if self._stopped:
+                    break
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                self._events_processed += 1
+                if budget is not None:
+                    budget -= 1
+                    if budget < 0:
+                        raise EventLimitExceeded(
+                            f"exceeded {max_events} events at t={self._now:.6g}; "
+                            f"likely livelock (next: {event!r})"
+                        )
+                event.fn(*event.args)
+        finally:
+            self._running = False
+        if until is not None and not self._heap and self._now < until:
+            self._now = until
+        return self._now
+
+    def step(self) -> bool:
+        """Execute exactly one pending event.  Returns False when idle."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Request the run loop to return after the current event."""
+        self._stopped = True
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events still in the heap."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Virtual time of the next live event, or None if idle."""
+        for event in sorted(self._heap):
+            if not event.cancelled:
+                return event.time
+        return None

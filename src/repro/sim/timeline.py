@@ -1,0 +1,132 @@
+"""Per-process busy/idle accounting.
+
+The paper's argument for optimism is entirely about *idle time*: a 100 MIPS
+CPU wastes 3 million instructions waiting on a coast-to-coast RPC.  The
+timeline records, for each process, spans of busy (computing), blocked
+(waiting on a message), and wasted (rolled-back) virtual time, so the
+benchmarks can report utilization and wasted-work fractions alongside raw
+completion times.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Span:
+    """A half-open span ``[start, end)`` of one kind of activity."""
+
+    __slots__ = ("kind", "start", "end")
+
+    BUSY = "busy"
+    BLOCKED = "blocked"
+    WASTED = "wasted"
+
+    def __init__(self, kind: str, start: float, end: Optional[float] = None) -> None:
+        self.kind = kind
+        self.start = start
+        self.end = end
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def __repr__(self) -> str:
+        end = f"{self.end:.4f}" if self.end is not None else "…"
+        return f"<Span {self.kind} [{self.start:.4f}, {end})>"
+
+
+class ProcessTimeline:
+    """Spans for one process, built by ``mark_*`` calls as the run proceeds."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.spans: list[Span] = []
+        self._open: Optional[Span] = None
+
+    def mark(self, kind: str, now: float) -> None:
+        """Close the open span at ``now`` and open a new one of ``kind``."""
+        if self._open is not None:
+            if self._open.kind == kind:
+                return
+            self._open.end = now
+        self._open = Span(kind, now)
+        self.spans.append(self._open)
+
+    def close(self, now: float) -> None:
+        if self._open is not None:
+            self._open.end = now
+            self._open = None
+
+    def reclassify_since(self, start_time: float, kind: str, now: float) -> float:
+        """Re-label all activity in ``[start_time, now)`` as ``kind``.
+
+        Rollback calls this with ``kind=WASTED``: everything the process did
+        since the guess point was thrown away.  Returns the re-labelled
+        duration.
+        """
+        self.close(now)
+        wasted = 0.0
+        kept: list[Span] = []
+        for span in self.spans:
+            end = span.end if span.end is not None else now
+            if end <= start_time:
+                kept.append(span)
+            elif span.start >= start_time:
+                wasted += end - span.start
+                kept.append(Span(kind, span.start, end))
+            else:
+                # straddles the boundary: split
+                kept.append(Span(span.kind, span.start, start_time))
+                wasted += end - start_time
+                kept.append(Span(kind, start_time, end))
+        self.spans = kept
+        self._open = None
+        return wasted
+
+    def total(self, kind: str, now: Optional[float] = None) -> float:
+        """Total duration of spans of ``kind`` (open span measured to ``now``)."""
+        out = 0.0
+        for span in self.spans:
+            if span.kind != kind:
+                continue
+            if span.end is not None:
+                out += span.end - span.start
+            elif now is not None:
+                out += now - span.start
+        return out
+
+
+class Timeline:
+    """Timelines for all processes in a run, plus aggregate statistics."""
+
+    def __init__(self) -> None:
+        self._processes: dict[str, ProcessTimeline] = {}
+
+    def process(self, name: str) -> ProcessTimeline:
+        tl = self._processes.get(name)
+        if tl is None:
+            tl = ProcessTimeline(name)
+            self._processes[name] = tl
+        return tl
+
+    def close_all(self, now: float) -> None:
+        for tl in self._processes.values():
+            tl.close(now)
+
+    def totals(self, kind: str) -> dict[str, float]:
+        return {name: tl.total(kind) for name, tl in self._processes.items()}
+
+    def aggregate(self, kind: str) -> float:
+        return sum(tl.total(kind) for tl in self._processes.values())
+
+    def utilization(self, name: str, horizon: float) -> float:
+        """Fraction of ``[0, horizon]`` the process spent busy."""
+        if horizon <= 0:
+            return 0.0
+        return self.process(name).total(Span.BUSY) / horizon
+
+    def names(self) -> list[str]:
+        return sorted(self._processes)

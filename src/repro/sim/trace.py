@@ -1,0 +1,110 @@
+"""Structured tracing of simulation runs.
+
+Every interesting action (send, receive, guess, rollback, ...) is recorded
+as a :class:`TraceRecord`.  Traces serve three purposes:
+
+* debugging — ``tracer.format()`` is a readable timeline;
+* determinism tests — two runs with the same seed must produce identical
+  traces (``tracer.fingerprint()``);
+* verification — the model checker in :mod:`repro.verify` replays traces
+  against the abstract machine oracle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Callable, Iterable, Optional
+
+
+class TraceRecord:
+    """One timestamped event: ``(time, category, process, detail)``."""
+
+    __slots__ = ("time", "category", "process", "detail")
+
+    def __init__(self, time: float, category: str, process: str, detail: dict) -> None:
+        self.time = time
+        self.category = category
+        self.process = process
+        self.detail = detail
+
+    def as_tuple(self) -> tuple:
+        return (self.time, self.category, self.process, tuple(sorted(self.detail.items())))
+
+    def __repr__(self) -> str:
+        fields = " ".join(f"{k}={v!r}" for k, v in sorted(self.detail.items()))
+        return f"[{self.time:10.4f}] {self.category:<12} {self.process:<14} {fields}"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects; optionally filtered and bounded.
+
+    ``categories`` restricts recording to the given set (None = record
+    all).  ``max_records`` bounds memory on long benchmark runs — when the
+    bound trips, the oldest records are dropped and ``truncated`` is set.
+    """
+
+    def __init__(
+        self,
+        categories: Optional[Iterable[str]] = None,
+        max_records: Optional[int] = None,
+    ) -> None:
+        self._categories = frozenset(categories) if categories is not None else None
+        self._max_records = max_records
+        self.records: list[TraceRecord] = []
+        self.truncated = False
+        self.counts: dict[str, int] = {}
+        self._listeners: list[Callable[[TraceRecord], None]] = []
+
+    def record(self, time: float, category: str, process: str, **detail: Any) -> None:
+        """Append one record (subject to category filter and size bound)."""
+        self.counts[category] = self.counts.get(category, 0) + 1
+        if self._categories is not None and category not in self._categories:
+            return
+        rec = TraceRecord(time, category, process, detail)
+        self.records.append(rec)
+        for listener in self._listeners:
+            listener(rec)
+        if self._max_records is not None and len(self.records) > self._max_records:
+            del self.records[0 : len(self.records) - self._max_records]
+            self.truncated = True
+
+    def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``listener`` on every record as it is added."""
+        self._listeners.append(listener)
+
+    def by_category(self, category: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.category == category]
+
+    def by_process(self, process: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.process == process]
+
+    def count(self, category: str) -> int:
+        """Total occurrences of ``category``, including filtered-out ones."""
+        return self.counts.get(category, 0)
+
+    def fingerprint(self) -> str:
+        """Stable hash of the whole trace; equal traces ⇒ equal fingerprints."""
+        h = hashlib.sha256()
+        for rec in self.records:
+            h.update(repr(rec.as_tuple()).encode("utf-8"))
+        return h.hexdigest()
+
+    def format(self, limit: Optional[int] = None) -> str:
+        """Human-readable rendering of the trace (last ``limit`` records)."""
+        records = self.records if limit is None else self.records[-limit:]
+        return "\n".join(repr(r) for r in records)
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.counts.clear()
+        self.truncated = False
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing (but still counts) — for benchmarks."""
+
+    def __init__(self) -> None:
+        super().__init__(categories=())

@@ -1,0 +1,43 @@
+"""Verification harness: invariants, scenarios, randomized model checking.
+
+The paper proves its theorems over the abstract machine; this package
+checks the same properties hold *system-wide* over randomized executions
+of real HOPE programs, plus the observable-equivalence oracle the paper
+implies but never states: what an optimistic program commits equals what
+its pessimistic counterpart would print.
+"""
+
+from .explorer import ExplorationReport, RunOutcome, explore, run_scenario
+from .invariants import (
+    DefiniteSafetyMonitor,
+    InvariantViolation,
+    LedgerMonitor,
+    attach_monitors,
+    check_quiescent,
+)
+from .programs import (
+    Scenario,
+    chain_scenario,
+    diamond_scenario,
+    free_of_scenario,
+    random_scenario,
+    two_aid_scenario,
+)
+
+__all__ = [
+    "explore",
+    "run_scenario",
+    "ExplorationReport",
+    "RunOutcome",
+    "Scenario",
+    "chain_scenario",
+    "two_aid_scenario",
+    "diamond_scenario",
+    "free_of_scenario",
+    "random_scenario",
+    "InvariantViolation",
+    "LedgerMonitor",
+    "DefiniteSafetyMonitor",
+    "attach_monitors",
+    "check_quiescent",
+]

@@ -1,0 +1,93 @@
+"""Cross-layer invariants checked over whole HopeSystem runs.
+
+The machine checks its own set algebra (:meth:`Machine.check_invariants`);
+these checks relate the machine to the runtime's observables:
+
+* **ledger monotonicity** — once an output is committed it is never
+  withdrawn (the output-commit guarantee);
+* **Theorem 5.2 at system level** — no definite interval ever appears in
+  a rollback's discard set;
+* **waste accounting** — wasted time implies at least one rollback;
+* **quiescent resolution** — at quiescence, a pending AID may not retain
+  dependents (someone would wait forever on it).
+"""
+
+from __future__ import annotations
+
+from ..core import MachineInvariantError, RollbackEvent
+from ..runtime import HopeSystem
+
+
+class InvariantViolation(AssertionError):
+    """A system-level invariant failed."""
+
+
+class LedgerMonitor:
+    """Watches committed outputs throughout a run; they must only grow.
+
+    Attach *before* running; call :meth:`assert_monotone` during or after.
+    """
+
+    def __init__(self, system: HopeSystem) -> None:
+        self.system = system
+        self._snapshots: dict[str, list] = {}
+        # sample after every machine event (rollbacks included)
+        system.machine.subscribe(lambda _event: self.sample())
+
+    def sample(self) -> None:
+        for name in self.system.procs:
+            committed = self.system.committed_outputs(name)
+            previous = self._snapshots.get(name, [])
+            if committed[: len(previous)] != previous:
+                raise InvariantViolation(
+                    f"committed ledger of {name!r} shrank or mutated: "
+                    f"{previous!r} -> {committed!r}"
+                )
+            self._snapshots[name] = committed
+
+    def assert_monotone(self) -> None:
+        self.sample()
+
+
+class DefiniteSafetyMonitor:
+    """Theorem 5.2, observed: rollbacks never discard definite intervals."""
+
+    def __init__(self, system: HopeSystem) -> None:
+        self.rollbacks_seen = 0
+
+        def watch(event) -> None:
+            if isinstance(event, RollbackEvent):
+                self.rollbacks_seen += 1
+                for interval in event.discarded:
+                    if interval.definite:
+                        raise InvariantViolation(
+                            f"rollback discarded definite interval {interval.label}"
+                        )
+
+        system.machine.subscribe(watch)
+
+
+def check_quiescent(system: HopeSystem, allow_pending_orphans: bool = True) -> None:
+    """Full post-run check: machine algebra plus system-level facts."""
+    try:
+        system.machine.check_invariants()
+    except MachineInvariantError as exc:
+        raise InvariantViolation(f"machine invariant broken: {exc}") from exc
+    stats = system.stats()
+    if stats["wasted_time"] > 0 and stats["rollbacks"] == 0:
+        raise InvariantViolation(
+            f"wasted time {stats['wasted_time']} with zero rollbacks"
+        )
+    for aid in system.machine.aids.values():
+        if aid.pending and aid.dom:
+            raise InvariantViolation(
+                f"quiescent with pending AID {aid.key} that still has "
+                f"{len(aid.dom)} dependent interval(s) — they wait forever"
+            )
+        if not allow_pending_orphans and aid.pending and aid.speculative_affirmer is None:
+            raise InvariantViolation(f"pending orphan AID {aid.key}")
+
+
+def attach_monitors(system: HopeSystem) -> tuple[LedgerMonitor, DefiniteSafetyMonitor]:
+    """Convenience: attach both streaming monitors to a fresh system."""
+    return (LedgerMonitor(system), DefiniteSafetyMonitor(system))

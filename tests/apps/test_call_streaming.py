@@ -1,0 +1,179 @@
+"""Integration tests for the Figure 1/2 Call Streaming application.
+
+The load-bearing assertion throughout: the server's *committed* ledger
+under the optimistic (Figure 2) program equals the pessimistic
+(Figure 1) ledger equals the independently computed serial reference —
+for every combination of (page full?, message race?).
+"""
+
+import pytest
+
+from repro.apps.call_streaming import (
+    CallStreamConfig,
+    expected_output,
+    run_optimistic,
+    run_pessimistic,
+)
+
+
+def both(config, seed=0):
+    pess = run_pessimistic(config, seed)
+    opt = run_optimistic(config, seed)
+    return pess, opt
+
+
+# ---------------------------------------------------------------- single report
+def test_happy_path_page_not_full_no_race():
+    config = CallStreamConfig(report_lines=(10,), page_size=60)
+    pess, opt = both(config)
+    reference = expected_output(config)
+    assert pess.server_output == reference
+    assert opt.server_output == reference
+    assert opt.rollbacks == 0
+    assert reference == [("print", "total-0", 10), ("print", "summary-0", 11)]
+
+
+def test_happy_path_is_faster_than_pessimistic():
+    config = CallStreamConfig(report_lines=(10,), page_size=60, latency=50.0)
+    pess, opt = both(config)
+    assert opt.makespan < pess.makespan
+    # Figure 1 pays two sequential round trips; Figure 2 overlaps them.
+    assert opt.makespan < 0.75 * pess.makespan
+
+
+def test_page_full_triggers_rollback_and_newpage():
+    config = CallStreamConfig(report_lines=(70,), page_size=60)
+    pess, opt = both(config)
+    reference = expected_output(config)
+    assert ("newpage",) in reference
+    assert pess.server_output == reference
+    assert opt.server_output == reference
+    assert opt.rollbacks >= 1
+
+
+def test_order_race_detected_and_repaired():
+    """summary_prep < wart_latency forces S3 to beat S1: free_of(Order)
+    must deny, roll everything back, and the repaired run must commit the
+    serial ledger."""
+    config = CallStreamConfig(
+        report_lines=(10,), page_size=60, summary_prep=0.0, wart_latency=3.0
+    )
+    pess, opt = both(config)
+    reference = expected_output(config)
+    assert pess.server_output == reference
+    assert opt.server_output == reference
+    assert opt.rollbacks >= 1
+
+
+def test_order_race_plus_page_full():
+    config = CallStreamConfig(
+        report_lines=(70,), page_size=60, summary_prep=0.0, wart_latency=3.0
+    )
+    pess, opt = both(config)
+    reference = expected_output(config)
+    assert pess.server_output == reference
+    assert opt.server_output == reference
+    assert opt.rollbacks >= 2          # Order denial and PartPage denial
+
+
+# ---------------------------------------------------------------- multi report
+def test_stream_of_reports_equivalent():
+    config = CallStreamConfig(
+        report_lines=(10, 20, 15, 40, 5, 30), page_size=60, latency=20.0
+    )
+    pess, opt = both(config)
+    reference = expected_output(config)
+    assert pess.server_output == reference
+    assert opt.server_output == reference
+
+
+def test_stream_with_page_breaks_equivalent():
+    config = CallStreamConfig(
+        report_lines=(30, 40, 50, 45, 35, 20, 55), page_size=60, latency=15.0
+    )
+    pess, opt = both(config)
+    reference = expected_output(config)
+    assert ("newpage",) in reference
+    assert pess.server_output == reference
+    assert opt.server_output == reference
+    assert opt.rollbacks >= 1
+
+
+def test_streaming_beats_pessimistic_on_long_runs():
+    """A single wart backlogs (S1s fall behind the streamed S3s), Order
+    assumptions fail repeatedly — yet correctness holds and the optimistic
+    run still wins on wall clock."""
+    config = CallStreamConfig(
+        report_lines=tuple([10] * 20), page_size=10_000, latency=25.0
+    )
+    pess, opt = both(config)
+    assert opt.server_output == pess.server_output
+    assert opt.makespan < pess.makespan
+    assert opt.rollbacks > 0               # the backlog regime
+
+
+def test_streaming_with_enough_warts_gives_large_speedup():
+    """With verification pipelined across warts, no assumption fails and
+    the worker never waits on the server — the paper's headline regime."""
+    config = CallStreamConfig(
+        report_lines=tuple([10] * 20), page_size=10_000, latency=25.0, n_warts=20
+    )
+    pess, opt = both(config)
+    assert opt.server_output == pess.server_output
+    speedup = (pess.makespan - opt.makespan) / pess.makespan
+    assert opt.rollbacks == 0
+    assert speedup > 0.5
+
+
+def test_multiple_warts_pipeline_verification():
+    slow = CallStreamConfig(
+        report_lines=tuple([10] * 16), page_size=10_000, latency=25.0, n_warts=1
+    )
+    fast = CallStreamConfig(
+        report_lines=tuple([10] * 16), page_size=10_000, latency=25.0, n_warts=4
+    )
+    opt_slow = run_optimistic(slow)
+    opt_fast = run_optimistic(fast)
+    assert opt_fast.server_output == opt_slow.server_output
+    assert opt_fast.makespan <= opt_slow.makespan
+
+
+def test_mixed_races_and_page_breaks_converge():
+    """The stress case: some reports race, some fill the page."""
+    preps = (0.0, 2.0, 0.0, 2.0, 2.0)
+    config = CallStreamConfig(
+        report_lines=(30, 40, 50, 10, 35),
+        page_size=60,
+        summary_prep_per_report=preps,
+        wart_latency=3.0,
+        latency=8.0,
+    )
+    pess, opt = both(config)
+    reference = expected_output(config)
+    assert pess.server_output == reference
+    assert opt.server_output == reference
+
+
+def test_no_pending_aids_at_quiescence():
+    """Every PartPage/Order assumption must be resolved by run end (modulo
+    AIDs orphaned by deep rollbacks, which have empty DOM)."""
+    config = CallStreamConfig(report_lines=(10, 70, 20), page_size=60)
+    from repro.apps.call_streaming import run_optimistic as run
+
+    import repro.apps.call_streaming as cs
+
+    system = cs._build_system(config, 0, None)
+    system.spawn("server", cs.print_server, config.page_size, config.server_service_time)
+    system.spawn("server_oneway", cs.oneway_gateway)
+    system.spawn("worrywart-0", cs.worrywart, config, config.n_reports)
+    system.spawn("worker", cs.optimistic_worker, config)
+    system.run()
+    for aid in system.pending_aids():
+        assert not aid.dom, f"pending AID {aid.key} still has dependents"
+
+
+def test_wasted_time_only_when_assumptions_fail():
+    good = CallStreamConfig(report_lines=(10,), page_size=60)
+    bad = CallStreamConfig(report_lines=(70,), page_size=60)
+    assert run_optimistic(good).wasted_time == 0.0
+    assert run_optimistic(bad).wasted_time > 0.0

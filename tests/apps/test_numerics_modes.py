@@ -1,0 +1,35 @@
+"""The Jacobi app across execution modes: same fixed point everywhere."""
+
+import pytest
+
+from repro.apps.numerics import make_problem, solver, validator
+from repro.runtime import HopeSystem
+from repro.sim import ConstantLatency
+
+
+def run_mode(problem, **kwargs):
+    system = HopeSystem(latency=ConstantLatency(5.0), **kwargs)
+    system.spawn("validator", validator, problem)
+    system.spawn("solver", solver, problem)
+    makespan = system.run(max_events=5_000_000)
+    return system, makespan
+
+
+def test_blocking_mode_same_solution_slower():
+    problem = make_problem(n=6, seed=1, dominance=3.0)
+    spec_system, spec_time = run_mode(problem)
+    block_system, block_time = run_mode(problem, speculation=False)
+    spec = spec_system.result_of("solver")
+    block = block_system.result_of("solver")
+    assert spec["x"] == block["x"]            # identical fixed point
+    assert spec["blocks"] == block["blocks"]
+    assert block_system.stats()["rollbacks"] == 0
+    assert spec_time < block_time             # optimism hides validation
+
+
+def test_aid_task_mode_same_solution():
+    problem = make_problem(n=5, seed=4, dominance=2.0)
+    registry, _ = run_mode(problem)
+    distributed, _ = run_mode(problem, aid_mode="aid_task", control_latency=1.0)
+    assert registry.result_of("solver")["x"] == distributed.result_of("solver")["x"]
+    assert distributed.stats()["control_messages"] > 0

@@ -1,0 +1,93 @@
+"""Optimistic recovery: exactly-once output under crash schedules."""
+
+import pytest
+
+from repro.apps.recovery import (
+    RecoveryConfig,
+    reference_ledger,
+    run_recovery,
+)
+
+
+def test_failure_free_run_commits_everything_in_order():
+    config = RecoveryConfig(items=tuple(range(8)))
+    result = run_recovery(config)
+    assert result.ledger == reference_ledger(config)
+    assert result.crashes == 0
+
+
+def test_logging_aids_all_resolve_without_failures():
+    config = RecoveryConfig(items=tuple(range(5)))
+    from repro.apps.recovery import disk, receiver, sender
+    from repro.runtime import HopeSystem
+    from repro.sim import ConstantLatency
+
+    system = HopeSystem(latency=ConstantLatency(config.latency))
+    system.spawn("disk", disk, config.log_write_latency)
+    system.spawn("sender", sender, config)
+    system.spawn("receiver", receiver, config)
+    system.run(max_events=1_000_000)
+    assert system.pending_aids() == []
+    assert all(a.affirmed for a in system.machine.aids.values())
+
+
+def test_sender_crash_mid_stream_exactly_once():
+    """Crash the sender while log writes are outstanding: orphans must be
+    denied, the receiver rolled back, and the resent suffix committed."""
+    config = RecoveryConfig(items=tuple(range(12)), log_write_latency=10.0)
+    result = run_recovery(config, crash_sender_at=[7.0], restart_after=3.0)
+    assert result.crashes == 1
+    assert result.ledger == reference_ledger(config)
+
+
+def test_sender_crash_forces_rollback_of_receiver():
+    config = RecoveryConfig(items=tuple(range(12)), log_write_latency=25.0)
+    result = run_recovery(config, crash_sender_at=[9.0], restart_after=3.0)
+    assert result.ledger == reference_ledger(config)
+    # long write latency ⇒ several optimistically processed items orphaned
+    assert result.rollbacks >= 1
+
+
+def test_receiver_crash_replays_from_checkpoint():
+    config = RecoveryConfig(items=tuple(range(12)), checkpoint_every=4)
+    result = run_recovery(config, crash_receiver_at=[15.0], restart_after=3.0)
+    assert result.crashes == 1
+    assert result.ledger == reference_ledger(config)
+
+
+def test_double_sender_crash():
+    config = RecoveryConfig(items=tuple(range(15)), log_write_latency=6.0)
+    result = run_recovery(
+        config, crash_sender_at=[5.0, 20.0], restart_after=2.0
+    )
+    assert result.crashes == 2
+    assert result.ledger == reference_ledger(config)
+
+
+def test_sender_and_receiver_crash():
+    config = RecoveryConfig(
+        items=tuple(range(14)), log_write_latency=7.0, checkpoint_every=3
+    )
+    result = run_recovery(
+        config,
+        crash_sender_at=[6.0],
+        crash_receiver_at=[18.0],
+        restart_after=3.0,
+    )
+    assert result.crashes == 2
+    assert result.ledger == reference_ledger(config)
+
+
+@pytest.mark.parametrize("crash_time", [3.0, 8.0, 13.0, 21.0, 34.0])
+def test_crash_schedule_sweep_sender(crash_time):
+    """Exactly-once must hold wherever the crash lands in the stream."""
+    config = RecoveryConfig(items=tuple(range(10)), log_write_latency=9.0)
+    result = run_recovery(config, crash_sender_at=[crash_time], restart_after=2.5)
+    assert result.ledger == reference_ledger(config)
+
+
+@pytest.mark.parametrize("crash_time", [6.0, 14.0, 25.0])
+def test_crash_schedule_sweep_receiver(crash_time):
+    config = RecoveryConfig(items=tuple(range(10)), checkpoint_every=2)
+    result = run_recovery(config, crash_receiver_at=[crash_time], restart_after=2.5)
+    assert result.ledger == reference_ledger(config)

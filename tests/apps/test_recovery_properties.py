@@ -1,0 +1,43 @@
+"""Property-based crash schedules: exactly-once must hold everywhere."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.recovery import RecoveryConfig, reference_ledger, run_recovery
+
+_crash_time = st.floats(min_value=1.0, max_value=60.0, allow_nan=False)
+
+
+@settings(max_examples=30, deadline=None)
+@given(crash_time=_crash_time, flush_every=st.integers(min_value=1, max_value=5))
+def test_sender_crash_anywhere_exactly_once(crash_time, flush_every):
+    config = RecoveryConfig(
+        items=tuple(range(8)), log_write_latency=7.0, flush_every=flush_every
+    )
+    result = run_recovery(config, crash_sender_at=[crash_time], restart_after=2.5)
+    assert result.ledger == reference_ledger(config)
+
+
+@settings(max_examples=30, deadline=None)
+@given(crash_time=_crash_time, checkpoint_every=st.integers(min_value=1, max_value=5))
+def test_receiver_crash_anywhere_exactly_once(crash_time, checkpoint_every):
+    config = RecoveryConfig(
+        items=tuple(range(8)), checkpoint_every=checkpoint_every
+    )
+    result = run_recovery(config, crash_receiver_at=[crash_time], restart_after=2.5)
+    assert result.ledger == reference_ledger(config)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    sender_crash=_crash_time,
+    receiver_crash=_crash_time,
+)
+def test_double_crash_exactly_once(sender_crash, receiver_crash):
+    config = RecoveryConfig(items=tuple(range(8)), log_write_latency=6.0)
+    result = run_recovery(
+        config,
+        crash_sender_at=[sender_crash],
+        crash_receiver_at=[receiver_crash],
+        restart_after=3.0,
+    )
+    assert result.ledger == reference_ledger(config)

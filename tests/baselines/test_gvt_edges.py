@@ -1,0 +1,71 @@
+"""GVT and fossil-collection edge cases for the Time Warp baseline."""
+
+import pytest
+
+from repro.baselines.timewarp import (
+    Emission,
+    GvtManager,
+    LogicalProcess,
+    TimeWarpEngine,
+    TWMessage,
+)
+from repro.sim import ConstantLatency
+
+
+def counting(state, vt, payload):
+    state["n"] += 1
+    return []
+
+
+def test_gvt_monotonicity_guard_raises_on_regression():
+    engine = TimeWarpEngine(latency=ConstantLatency(1.0))
+    engine.add_lp("a", counting, {"n": 0})
+    engine.gvt.value = 100.0                  # force an inflated horizon
+    engine.inject("a", 5.0, None)             # in-flight below the horizon
+    with pytest.raises(RuntimeError, match="regressed"):
+        engine.gvt.compute()
+
+
+def test_gvt_accounts_in_flight_messages():
+    engine = TimeWarpEngine(latency=ConstantLatency(50.0), gvt_interval=None)
+    engine.add_lp("a", counting, {"n": 0})
+    engine.inject("a", 7.0, None)             # physically in flight
+    assert engine.gvt.compute() == 7.0        # bounded by the in-flight vt
+
+
+def test_fossil_collection_keeps_restore_floor():
+    lp = LogicalProcess("a", counting, {"n": 0}, save_interval=1)
+    for i in range(5):
+        lp.insert(TWMessage("env", "a", 0.0, float(i + 1), i))
+        lp.process_next()
+    assert len(lp.saves) == 6                 # initial + 5
+    lp.fossil_collect(gvt=3.5)
+    # the newest save strictly below GVT must survive as the restore floor
+    floors = [key[0] for key, _state in lp.saves]
+    assert floors[0] <= 3.5
+    assert all(f <= 5.0 for f in floors)
+    # rolling back to just above the floor still works
+    antis = lp.rollback((3.6, 0))
+    assert antis == []
+    while lp.has_work:
+        lp.process_next()
+    assert lp.state["n"] == 5
+
+
+def test_memory_footprint_shrinks_after_fossil_collection():
+    lp = LogicalProcess("a", counting, {"n": 0})
+    for i in range(10):
+        lp.insert(TWMessage("env", "a", 0.0, float(i + 1), i))
+        lp.process_next()
+    before = lp.memory_footprint()
+    lp.fossil_collect(gvt=8.0)
+    assert lp.memory_footprint() < before
+
+
+def test_final_gvt_is_infinite_at_quiescence():
+    engine = TimeWarpEngine(latency=ConstantLatency(1.0), gvt_interval=5.0)
+    engine.add_lp("a", counting, {"n": 0})
+    engine.inject("a", 1.0, None)
+    engine.run(max_events=10_000)
+    assert engine.gvt.value == float("inf")
+    assert engine.lps["a"].state["n"] == 1

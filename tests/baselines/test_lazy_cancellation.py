@@ -1,0 +1,147 @@
+"""Lazy cancellation: defer antis, reuse regenerated-identical messages."""
+
+import pytest
+
+from repro.baselines.timewarp import (
+    Emission,
+    LogicalProcess,
+    SequentialOracle,
+    TimeWarpEngine,
+    TWMessage,
+)
+from repro.sim import ConstantLatency, SequenceLatency
+
+
+def forwarding_handler(state, vt, payload):
+    """Forwards a constant-derived message: insensitive to stragglers that
+    only touch ``state['log']`` — the lazy-cancellation sweet spot."""
+    state["log"].append((vt, payload))
+    if payload[0] == "fwd":
+        return [Emission(state["next"], 2.0, ("leaf", payload[1]))]
+    return []
+
+
+def test_invalid_cancellation_mode_rejected():
+    with pytest.raises(ValueError):
+        LogicalProcess("lp", forwarding_handler, {}, cancellation="eager")
+
+
+def test_lazy_reuses_identical_regenerated_output():
+    lp = LogicalProcess(
+        "relay", forwarding_handler, {"log": [], "next": "leaf"},
+        cancellation="lazy",
+    )
+    lp.insert(TWMessage("env", "relay", 0.0, 10.0, ("fwd", 1)))
+    [sent] = lp.process_next()
+    # straggler that does not change the forward
+    antis = lp.insert(TWMessage("env", "relay", 0.0, 5.0, ("noise", 0)))
+    assert antis == []                      # deferred, not sent
+    resend = []
+    while lp.has_work:
+        resend.extend(lp.process_next())
+    # the forward was regenerated identically: reused, no anti, no resend
+    assert resend == []
+    assert lp.lazy_hits == 1
+    assert lp.antis_sent == 0
+    assert [(k, m.uid) for k, m in lp.output_log][-1][1] == sent.uid
+
+
+def test_aggressive_cancels_and_resends_same_scenario():
+    lp = LogicalProcess(
+        "relay", forwarding_handler, {"log": [], "next": "leaf"},
+        cancellation="aggressive",
+    )
+    lp.insert(TWMessage("env", "relay", 0.0, 10.0, ("fwd", 1)))
+    [sent] = lp.process_next()
+    antis = lp.insert(TWMessage("env", "relay", 0.0, 5.0, ("noise", 0)))
+    assert len(antis) == 1 and antis[0].uid == sent.uid
+    resend = []
+    while lp.has_work:
+        resend.extend(lp.process_next())
+    assert len(resend) == 1                 # regenerated with a new uid
+    assert resend[0].uid != sent.uid
+
+
+def test_lazy_cancels_genuinely_divergent_output():
+    def dependent_handler(state, vt, payload):
+        state["sum"] += payload
+        return [Emission(state["next"], 2.0, state["sum"])]
+
+    lp = LogicalProcess(
+        "relay", dependent_handler, {"sum": 0, "next": "leaf"},
+        cancellation="lazy",
+    )
+    lp.insert(TWMessage("env", "relay", 0.0, 10.0, 5))
+    [sent] = lp.process_next()              # forwards sum=5
+    lp.insert(TWMessage("env", "relay", 0.0, 4.0, 100))   # changes the sum
+    out = []
+    while lp.has_work:
+        out.extend(lp.process_next())
+    signs = sorted(m.sign for m in out)
+    # one anti (for the stale sum=5 forward) and two fresh positives
+    assert signs == [-1, 1, 1]
+    assert any(m.sign == -1 and m.uid == sent.uid for m in out)
+
+
+def test_idle_flush_cancels_orphaned_suspects():
+    """If the originating event itself is annihilated, its suspect can
+    never be regenerated and must be cancelled when the LP goes idle."""
+    engine = TimeWarpEngine(
+        latency=ConstantLatency(1.0), service_time=0.5, cancellation="lazy"
+    )
+    log = {"count": 0}
+
+    def source_handler(state, vt, payload):
+        state["n"] += 1
+        return [Emission("sink", 3.0, payload)]
+
+    def sink_handler(state, vt, payload):
+        state["got"].append((vt, payload))
+        return []
+
+    engine.add_lp("source", source_handler, {"n": 0})
+    engine.add_lp("sink", sink_handler, {"got": []})
+    # a positive and, later, its anti (simulating an upstream cancellation)
+    seed = TWMessage("env", "source", 0.0, 10.0, "work")
+    engine._transmit(seed)
+    engine.sim.schedule(5.0, lambda: engine._transmit(seed.anti()))
+    engine.run(max_events=100_000)
+    # the sink must end empty: the forwarded message was cancelled too
+    assert engine.lps["sink"].state["got"] == []
+    assert engine.lps["source"].state["n"] == 0
+
+
+@pytest.mark.parametrize("cancellation", ["aggressive", "lazy"])
+def test_both_modes_match_oracle_on_reordered_ring(cancellation):
+    from repro.bench import build_tw_ring
+
+    engine = TimeWarpEngine(
+        latency=SequenceLatency([30.0] + [1.0] * 200),
+        service_time=0.3,
+        cancellation=cancellation,
+    )
+    build_tw_ring(engine, n_lps=3, hops=12)
+    engine.inject("lp1", 0.5, 4)            # second seed creates interleaving
+    engine.run(max_events=200_000)
+    oracle = SequentialOracle()
+    build_tw_ring(oracle, n_lps=3, hops=12)
+    oracle.inject("lp1", 0.5, 4)
+    oracle.run()
+    assert engine.final_states() == oracle.final_states()
+
+
+def test_lazy_never_sends_more_antis_than_aggressive():
+    from repro.bench import build_tw_ring
+
+    def run(mode):
+        engine = TimeWarpEngine(
+            latency=SequenceLatency([25.0] + [1.0] * 300),
+            service_time=0.3,
+            cancellation=mode,
+        )
+        build_tw_ring(engine, n_lps=3, hops=15)
+        engine.inject("lp1", 0.5, 5)
+        engine.run(max_events=300_000)
+        return engine.stats()["antis_sent"]
+
+    assert run("lazy") <= run("aggressive")

@@ -1,0 +1,74 @@
+"""Tests for the pessimistic analytic model and the static-scope baseline."""
+
+import pytest
+
+from repro.apps.call_streaming import (
+    CallStreamConfig,
+    expected_output,
+    run_optimistic,
+    run_pessimistic,
+)
+from repro.baselines.pessimistic import (
+    RpcChain,
+    RpcStep,
+    predict_completion,
+    run_chain,
+)
+from repro.baselines.static_scope import run_static_scope
+
+
+# ---------------------------------------------------------------- pessimistic
+def test_predict_matches_simulation_single_rpc():
+    chain = RpcChain(steps=(RpcStep(compute=2.0, rpc_service=1.0),), latency=10.0)
+    assert predict_completion(chain) == pytest.approx(2.0 + 20.0 + 1.0)
+    assert run_chain(chain) == pytest.approx(predict_completion(chain))
+
+
+def test_predict_matches_simulation_long_chain():
+    steps = tuple(
+        RpcStep(compute=1.5, rpc_service=0.5) if i % 2 == 0 else RpcStep(compute=3.0)
+        for i in range(12)
+    )
+    chain = RpcChain(steps=steps, latency=7.0)
+    assert run_chain(chain) == pytest.approx(predict_completion(chain))
+
+
+def test_latency_dominates_for_remote_chains():
+    """The paper's motivation: RPC latency swamps compute at WAN distances."""
+    compute_only = RpcChain(steps=(RpcStep(compute=10.0),), latency=100.0)
+    with_rpc = RpcChain(
+        steps=(RpcStep(compute=10.0, rpc_service=0.1),), latency=100.0
+    )
+    assert predict_completion(with_rpc) > 20 * predict_completion(compute_only)
+
+
+# ---------------------------------------------------------------- static scope
+def test_static_scope_output_equivalent():
+    config = CallStreamConfig(report_lines=(10, 70, 20), page_size=60)
+    result = run_static_scope(config)
+    assert result.server_output == expected_output(config)
+
+
+def test_static_scope_never_rolls_back():
+    """Nothing speculative escapes the process, so no rollback can occur."""
+    config = CallStreamConfig(report_lines=(70, 70, 70), page_size=60)
+    result = run_static_scope(config)
+    assert result.rollbacks == 0
+    assert result.server_output == expected_output(config)
+
+
+def test_performance_ordering_hope_beats_static_beats_pessimistic():
+    """The §2 argument, quantified: static scope can only overlap local
+    preparation with verification; HOPE also overlaps the remote work."""
+    config = CallStreamConfig(
+        report_lines=tuple([10] * 8),
+        page_size=10_000,
+        latency=30.0,
+        n_warts=8,
+        summary_prep=20.0,   # enough local preparation for static scope to hide
+    )
+    pess = run_pessimistic(config)
+    static = run_static_scope(config)
+    hope = run_optimistic(config)
+    assert hope.server_output == static.server_output == pess.server_output
+    assert hope.makespan < static.makespan < pess.makespan

@@ -1,0 +1,205 @@
+"""Time Warp tests: optimistic execution must match the sequential oracle."""
+
+import pytest
+
+from repro.baselines.timewarp import (
+    Emission,
+    LogicalProcess,
+    SequentialOracle,
+    TimeWarpEngine,
+    TWMessage,
+)
+from repro.sim import ConstantLatency, SequenceLatency
+
+
+# ---------------------------------------------------------------- handlers
+def counting_handler(state, vt, payload):
+    """Count events and keep a vt-ordered log; forward until a hop limit."""
+    state["count"] += 1
+    state["log"].append((vt, payload))
+    hops = payload
+    if hops > 0:
+        return [Emission(state["next"], 1.5, hops - 1)]
+    return []
+
+
+def summing_handler(state, vt, payload):
+    state["sum"] += payload
+    state["history"].append((vt, payload))
+    return []
+
+
+# ---------------------------------------------------------------- unit level
+def test_message_validation():
+    with pytest.raises(ValueError):
+        TWMessage("a", "b", send_vt=5.0, recv_vt=4.0, payload=None)
+    with pytest.raises(ValueError):
+        TWMessage("a", "b", 0.0, 1.0, None, sign=2)
+
+
+def test_anti_of_anti_rejected():
+    msg = TWMessage("a", "b", 0.0, 1.0, "x")
+    anti = msg.anti()
+    assert anti.uid == msg.uid and anti.sign == -1
+    with pytest.raises(ValueError):
+        anti.anti()
+
+
+def test_lp_processes_in_timestamp_order():
+    lp = LogicalProcess("sink", summing_handler, {"sum": 0, "history": []})
+    lp.insert(TWMessage("env", "sink", 0.0, 5.0, 50))
+    lp.insert(TWMessage("env", "sink", 0.0, 2.0, 20))
+    lp.process_next()
+    lp.process_next()
+    assert lp.state["history"] == [(2.0, 20), (5.0, 50)]
+    assert lp.lvt == 5.0
+
+
+def test_lp_straggler_rolls_back_and_reprocesses():
+    lp = LogicalProcess("sink", summing_handler, {"sum": 0, "history": []})
+    lp.insert(TWMessage("env", "sink", 0.0, 5.0, 50))
+    lp.process_next()
+    antis = lp.insert(TWMessage("env", "sink", 0.0, 2.0, 20))
+    assert antis == []                       # no outputs to cancel
+    assert lp.rollbacks == 1
+    assert lp.lvt == float("-inf")
+    lp.process_next()
+    lp.process_next()
+    assert lp.state["history"] == [(2.0, 20), (5.0, 50)]
+
+
+def test_lp_straggler_cancels_outputs_with_antis():
+    state = {"count": 0, "log": [], "next": "peer"}
+    lp = LogicalProcess("relay", counting_handler, state)
+    lp.insert(TWMessage("env", "relay", 0.0, 5.0, 3))
+    out = lp.process_next()
+    assert len(out) == 1 and out[0].dst == "peer"
+    antis = lp.insert(TWMessage("env", "relay", 0.0, 1.0, 0))
+    assert len(antis) == 1
+    assert antis[0].sign == -1 and antis[0].uid == out[0].uid
+
+
+def test_anti_annihilates_unprocessed_positive():
+    lp = LogicalProcess("sink", summing_handler, {"sum": 0, "history": []})
+    msg = TWMessage("env", "sink", 0.0, 5.0, 50)
+    lp.insert(msg)
+    lp.insert(msg.anti())
+    assert not lp.has_work
+    assert lp.rollbacks == 0
+
+
+def test_anti_for_processed_positive_rolls_back():
+    lp = LogicalProcess("sink", summing_handler, {"sum": 0, "history": []})
+    msg = TWMessage("env", "sink", 0.0, 5.0, 50)
+    lp.insert(msg)
+    lp.process_next()
+    assert lp.state["sum"] == 50
+    lp.insert(msg.anti())
+    assert lp.state["sum"] == 0
+    assert not lp.has_work                   # annihilated after rollback
+
+
+def test_anti_overtaking_positive_annihilates_on_arrival():
+    lp = LogicalProcess("sink", summing_handler, {"sum": 0, "history": []})
+    msg = TWMessage("env", "sink", 0.0, 5.0, 50)
+    lp.insert(msg.anti())                    # anti arrives first
+    lp.insert(msg)
+    assert not lp.has_work
+    assert lp.state["sum"] == 0
+
+
+def test_save_interval_coast_forward():
+    """save_interval > 1: rollback restores an older save and re-processes."""
+    lp = LogicalProcess(
+        "sink", summing_handler, {"sum": 0, "history": []}, save_interval=3
+    )
+    for vt in [10.0, 20.0, 30.0, 40.0]:
+        lp.insert(TWMessage("env", "sink", 0.0, vt, int(vt)))
+        lp.process_next()
+    lp.insert(TWMessage("env", "sink", 0.0, 35.0, 35))
+    # restored save is after vt=30 (the 3rd event); 40 is redone
+    while lp.has_work:
+        lp.process_next()
+    assert lp.state["sum"] == 10 + 20 + 30 + 35 + 40
+    assert [h[0] for h in lp.state["history"]] == [10.0, 20.0, 30.0, 35.0, 40.0]
+
+
+# ---------------------------------------------------------------- engine level
+def _ring(engine_or_oracle, n=3, hops=10):
+    names = [f"lp{i}" for i in range(n)]
+    for i, name in enumerate(names):
+        state = {"count": 0, "log": [], "next": names[(i + 1) % n]}
+        engine_or_oracle.add_lp(name, counting_handler, state)
+    engine_or_oracle.inject("lp0", 1.0, hops)
+    return names
+
+
+def test_ring_matches_oracle():
+    engine = TimeWarpEngine(latency=ConstantLatency(2.0), service_time=0.5)
+    _ring(engine)
+    engine.run(max_events=100_000)
+    oracle = SequentialOracle()
+    _ring(oracle)
+    oracle.run()
+    assert engine.final_states() == oracle.final_states()
+    assert engine.gvt.value == float("inf")
+
+
+def test_physical_reordering_forces_straggler_then_converges():
+    # First transmit crawls, second sprints: vt order inverted physically.
+    latency = SequenceLatency([50.0, 1.0])
+    engine = TimeWarpEngine(latency=latency, service_time=0.5)
+    engine.add_lp("sink", summing_handler, {"sum": 0, "history": []})
+    engine.inject("sink", 1.0, 100)          # slow physical, early virtual
+    engine.inject("sink", 2.0, 200)          # fast physical, late virtual
+    engine.run(max_events=10_000)
+    lp = engine.lps["sink"]
+    assert lp.rollbacks >= 1
+    assert lp.state["history"] == [(1.0, 100), (2.0, 200)]
+
+
+def test_anti_message_cascade_across_chain():
+    """A straggler at the head must unwind speculative work downstream."""
+    latency = SequenceLatency([40.0] + [1.0] * 50)
+    engine = TimeWarpEngine(latency=latency, service_time=0.2)
+    for i, name in enumerate(["a", "b", "c"]):
+        nxt = ["a", "b", "c"][(i + 1) % 3]
+        engine.add_lp(name, counting_handler, {"count": 0, "log": [], "next": nxt})
+    engine.inject("a", 1.0, 6)               # slow: the eventual straggler
+    engine.inject("a", 5.0, 6)               # fast: processed optimistically
+    engine.run(max_events=100_000)
+
+    oracle = SequentialOracle()
+    for i, name in enumerate(["a", "b", "c"]):
+        nxt = ["a", "b", "c"][(i + 1) % 3]
+        oracle.add_lp(name, counting_handler, {"count": 0, "log": [], "next": nxt})
+    oracle.inject("a", 1.0, 6)
+    oracle.inject("a", 5.0, 6)
+    oracle.run()
+    assert engine.final_states() == oracle.final_states()
+    assert engine.stats()["rollbacks"] >= 1
+    assert engine.stats()["antis_sent"] >= 1
+
+
+def test_gvt_advances_and_fossils_collected():
+    engine = TimeWarpEngine(
+        latency=ConstantLatency(2.0), service_time=0.5, gvt_interval=10.0
+    )
+    _ring(engine, n=3, hops=30)
+    engine.run(max_events=100_000)
+    stats = engine.stats()
+    assert stats["gvt"] == float("inf")
+    assert stats["fossils_reclaimed"] > 0
+    assert engine.gvt.computations >= 2
+    # GVT history is monotone
+    values = [v for _t, v in engine.gvt.history]
+    assert values == sorted(values)
+
+
+def test_efficiency_statistic():
+    engine = TimeWarpEngine(latency=ConstantLatency(1.0), service_time=0.5)
+    _ring(engine, n=2, hops=8)
+    engine.run(max_events=100_000)
+    stats = engine.stats()
+    assert 0.0 < stats["efficiency"] <= 1.0
+    assert stats["events_processed"] >= 9

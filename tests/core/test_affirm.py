@@ -1,0 +1,188 @@
+"""Tests for affirm (Eq 7-14) and finalize (Eq 20-23)."""
+
+import pytest
+
+from repro.core import (
+    AidStatus,
+    FinalizePreconditionError,
+    IntervalState,
+    Machine,
+    ResolutionConflictError,
+)
+
+
+@pytest.fixture
+def machine():
+    return Machine(strict=True)
+
+
+def test_definite_affirm_finalizes_sole_dependent(machine):
+    machine.create_process("p")
+    machine.create_process("q")
+    x = machine.aid_init("x")
+    machine.guess("p", x)
+    interval = machine.process("p").current
+    machine.affirm("q", x)                      # q is definite ⇒ Eq 7-9
+    assert x.status is AidStatus.AFFIRMED
+    assert x.resolved_by == "q"
+    assert interval.state is IntervalState.DEFINITE
+    assert machine.process("p").current is None  # Eq 23
+    assert machine.process("p").speculative == set()
+    assert x.dom == set()
+    machine.check_invariants()
+
+
+def test_definite_affirm_finalizes_all_dependents_across_processes(machine):
+    machine.create_process("a")
+    machine.create_process("b")
+    machine.create_process("judge")
+    x = machine.aid_init("x")
+    machine.guess("a", x)
+    machine.guess("b", x)
+    machine.affirm("judge", x)
+    assert machine.process("a").current is None
+    assert machine.process("b").current is None
+    machine.check_invariants()
+
+
+def test_definite_affirm_leaves_other_dependencies_pending(machine):
+    machine.create_process("p")
+    machine.create_process("q")
+    x = machine.aid_init("x")
+    y = machine.aid_init("y")
+    machine.guess("p", x)
+    machine.guess("p", y)
+    machine.affirm("q", x)
+    record = machine.process("p")
+    # The first interval (only x) finalizes; the second still needs y.
+    assert len(record.speculative) == 1
+    assert record.current is not None
+    assert record.current.ido == {y}
+    machine.check_invariants()
+
+
+def test_affirm_chain_finalizes_nested_intervals_in_order(machine):
+    machine.create_process("p")
+    machine.create_process("q")
+    x = machine.aid_init("x")
+    y = machine.aid_init("y")
+    machine.guess("p", x)
+    machine.guess("p", y)
+    machine.affirm("q", y)
+    # outer interval still depends on x; inner now only on x too
+    record = machine.process("p")
+    assert len(record.speculative) == 2
+    machine.affirm("q", x)
+    assert record.current is None
+    assert record.speculative == set()
+    machine.check_invariants()
+
+
+def test_speculative_affirm_merges_ido_into_dependents(machine):
+    """Eq 10-14: dependents of X inherit the affirmer's dependencies."""
+    machine.create_process("worker")
+    machine.create_process("wart")
+    x = machine.aid_init("x")
+    y = machine.aid_init("y")
+    machine.guess("worker", x)                  # worker depends on x
+    worker_iv = machine.process("worker").current
+    machine.guess("wart", y)                    # wart depends on y
+    machine.affirm("wart", x)                   # speculative affirm
+    assert x.status is AidStatus.PENDING        # not definite yet
+    assert worker_iv.ido == {y}                 # x replaced by wart's deps
+    assert worker_iv in y.dom                   # Eq 10 symmetry
+    assert x.dom == set()                       # Eq 14
+    machine.check_invariants()
+
+
+def test_speculative_affirm_made_definite_finalizes_dependents(machine):
+    """Lemma 6.1: spec affirm + affirmer finalize ≡ definite affirm."""
+    machine.create_process("worker")
+    machine.create_process("wart")
+    machine.create_process("judge")
+    x = machine.aid_init("x")
+    y = machine.aid_init("y")
+    machine.guess("worker", x)
+    machine.guess("wart", y)
+    machine.affirm("wart", x)                   # speculative
+    machine.affirm("judge", y)                  # definite ⇒ wart definite ⇒ x's old dependents free
+    assert machine.process("worker").current is None
+    assert machine.process("wart").current is None
+    machine.check_invariants()
+
+
+def test_self_affirm_finalizes_self(machine):
+    """§5.2 self-affirm: X.DOM = {A} and A affirms X."""
+    machine.create_process("p")
+    x = machine.aid_init("x")
+    machine.guess("p", x)
+    machine.affirm("p", x)
+    record = machine.process("p")
+    assert record.current is None
+    assert record.speculative == set()
+    machine.check_invariants()
+
+
+def test_self_affirm_with_other_dependencies_sheds_only_x(machine):
+    machine.create_process("p")
+    x = machine.aid_init("x")
+    y = machine.aid_init("y")
+    machine.guess("p", y)
+    machine.guess("p", x)
+    machine.affirm("p", x)
+    record = machine.process("p")
+    assert record.current is not None
+    assert record.current.ido == {y}
+    machine.check_invariants()
+
+
+def test_second_affirm_strict_raises(machine):
+    machine.create_process("p")
+    machine.create_process("q")
+    x = machine.aid_init("x")
+    machine.affirm("q", x)
+    with pytest.raises(ResolutionConflictError):
+        machine.affirm("p", x)
+
+
+def test_second_affirm_lenient_is_noop():
+    machine = Machine(strict=False)
+    machine.create_process("p")
+    machine.create_process("q")
+    x = machine.aid_init("x")
+    machine.affirm("q", x)
+    machine.affirm("p", x)                      # redundant ⇒ no-op
+    assert x.status is AidStatus.AFFIRMED
+    assert x.resolved_by == "q"
+
+
+def test_affirm_conflicting_with_deny_raises_even_lenient():
+    machine = Machine(strict=False)
+    machine.create_process("p")
+    machine.create_process("q")
+    x = machine.aid_init("x")
+    machine.deny("q", x)
+    with pytest.raises(ResolutionConflictError):
+        machine.affirm("p", x)
+
+
+def test_affirm_while_speculative_affirm_live_raises(machine):
+    machine.create_process("a")
+    machine.create_process("b")
+    machine.create_process("c")
+    x = machine.aid_init("x")
+    y = machine.aid_init("y")
+    machine.guess("a", x)
+    machine.guess("b", y)
+    machine.affirm("b", x)                      # speculative, still live
+    with pytest.raises(ResolutionConflictError):
+        machine.affirm("c", x)
+
+
+def test_finalize_precondition_guard(machine):
+    machine.create_process("p")
+    x = machine.aid_init("x")
+    machine.guess("p", x)
+    interval = machine.process("p").current
+    with pytest.raises(FinalizePreconditionError):
+        machine._finalize(interval)

@@ -1,0 +1,119 @@
+"""Tests for the dependency-graph and dump tooling."""
+
+import networkx as nx
+
+from repro.core import Machine
+from repro.core.inspect import (
+    dependency_graph,
+    format_machine,
+    rollback_blast_radius,
+    to_dot,
+    transitive_dependencies,
+)
+
+
+def make_machine():
+    machine = Machine(strict=False)
+    for name in ("p", "q", "r"):
+        machine.create_process(name)
+    return machine
+
+
+def test_dependency_graph_nodes_and_edges():
+    machine = make_machine()
+    x = machine.aid_init("x")
+    machine.guess("p", x)
+    machine.guess_many("q", [x])
+    graph = dependency_graph(machine)
+    aid_nodes = [n for n, d in graph.nodes(data=True) if d["kind"] == "aid"]
+    interval_nodes = [n for n, d in graph.nodes(data=True) if d["kind"] == "interval"]
+    assert len(aid_nodes) == 1
+    assert len(interval_nodes) == 2
+    assert all(
+        d["relation"] == "depends_on" for _s, _t, d in graph.edges(data=True)
+    )
+
+
+def test_dead_intervals_excluded_by_default():
+    machine = make_machine()
+    x = machine.aid_init("x")
+    machine.guess("p", x)
+    machine.deny("q", x)
+    assert len(dependency_graph(machine).nodes) == 1        # just the AID
+    assert len(dependency_graph(machine, include_dead=True).nodes) == 2
+
+
+def test_speculative_affirmer_edge():
+    machine = make_machine()
+    x = machine.aid_init("x")
+    y = machine.aid_init("y")
+    machine.guess("p", x)
+    machine.guess("q", y)
+    machine.affirm("q", x)
+    graph = dependency_graph(machine)
+    relations = {d["relation"] for _s, _t, d in graph.edges(data=True)}
+    assert "affirmed_by" in relations
+
+
+def test_transitive_dependencies_follow_affirmers():
+    machine = make_machine()
+    x = machine.aid_init("x")
+    y = machine.aid_init("y")
+    z = machine.aid_init("z")
+    machine.guess("p", x)
+    machine.guess("q", y)
+    machine.affirm("q", x)      # x rides on y (via Eq 12 merge, p now on y)
+    machine.guess("r", z)
+    deps_p = transitive_dependencies(machine, "p")
+    assert y.key in deps_p
+    assert z.key not in deps_p
+    assert transitive_dependencies(machine, "q") == frozenset({y.key})
+
+
+def test_transitive_dependencies_of_definite_process_empty():
+    machine = make_machine()
+    assert transitive_dependencies(machine, "p") == frozenset()
+
+
+def test_rollback_blast_radius():
+    machine = make_machine()
+    x = machine.aid_init("x")
+    machine.guess("p", x)
+    machine.guess_many("q", [x])
+    assert rollback_blast_radius(machine, x) == frozenset({"p", "q"})
+    machine.affirm("r", x)
+    assert rollback_blast_radius(machine, x) == frozenset()
+
+
+def test_format_machine_mentions_everything():
+    machine = make_machine()
+    x = machine.aid_init("x")
+    machine.guess("p", x)
+    text = format_machine(machine)
+    assert "process p" in text
+    assert x.key in text
+    assert "IDO" in text
+    with_history = format_machine(machine, include_history=True)
+    assert "guess" in with_history
+
+
+def test_to_dot_is_valid_looking_graphviz():
+    machine = make_machine()
+    x = machine.aid_init("x")
+    machine.guess("p", x)
+    dot = to_dot(machine)
+    assert dot.startswith("digraph hope {")
+    assert dot.rstrip().endswith("}")
+    assert "depends_on" not in dot          # relations become styles
+    assert "solid" in dot
+    assert x.key in dot
+
+
+def test_graph_is_acyclic_for_plain_guesses():
+    machine = make_machine()
+    aids = [machine.aid_init(f"a{i}") for i in range(3)]
+    for aid in aids:
+        machine.guess("p", aid)
+        machine.guess("q", aid)
+    graph = dependency_graph(machine)
+    assert nx.is_directed_acyclic_graph(graph)

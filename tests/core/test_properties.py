@@ -1,0 +1,129 @@
+"""Property-based tests: machine invariants under random primitive sequences.
+
+A hypothesis-driven interpreter issues random but *well-formed* HOPE
+primitive sequences (each AID resolved at most once by a live path) and
+checks after every step that the machine's invariants — Lemma 5.1
+symmetry, the Theorem 5.1 subset chain, IS/I consistency — hold, and that
+the headline theorems are respected at quiescence.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AidStatus, IntervalState, Machine, ResolutionConflictError
+
+PROCS = ["p0", "p1", "p2"]
+
+
+def _machine():
+    machine = Machine(strict=False)
+    for name in PROCS:
+        machine.create_process(name)
+    return machine
+
+
+# Each action is (opcode, process index, aid index) over a fixed pool.
+ACTIONS = st.lists(
+    st.tuples(
+        st.sampled_from(["guess", "affirm", "deny", "free_of", "recv", "step"]),
+        st.integers(min_value=0, max_value=len(PROCS) - 1),
+        st.integers(min_value=0, max_value=4),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _apply(machine, aids, op, pid, aid):
+    """Apply one random action; resolution conflicts are legal outcomes."""
+    try:
+        if op == "guess":
+            machine.guess(pid, aid)
+        elif op == "affirm":
+            machine.affirm(pid, aid)
+        elif op == "deny":
+            machine.deny(pid, aid)
+        elif op == "free_of":
+            machine.free_of(pid, aid)
+        elif op == "recv":
+            live, deps = machine.resolve_tags([aid])
+            if live:
+                machine.guess_many(pid, deps)
+        elif op == "step":
+            machine.step(pid, "work")
+    except ResolutionConflictError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(ACTIONS)
+def test_invariants_hold_under_random_schedules(actions):
+    machine = _machine()
+    aids = [machine.aid_init(f"a{i}") for i in range(5)]
+    for op, pidx, aidx in actions:
+        _apply(machine, aids, op, PROCS[pidx], aids[aidx])
+        machine.check_invariants()
+
+
+@settings(max_examples=200, deadline=None)
+@given(ACTIONS)
+def test_definite_intervals_stay_definite(actions):
+    """Theorem 5.2: once finalized, an interval is never rolled back."""
+    machine = _machine()
+    aids = [machine.aid_init(f"a{i}") for i in range(5)]
+    finalized = set()
+    for op, pidx, aidx in actions:
+        _apply(machine, aids, op, PROCS[pidx], aids[aidx])
+        for record in machine.processes.values():
+            for interval in record.intervals:
+                if interval.state is IntervalState.DEFINITE:
+                    finalized.add(interval)
+    for interval in finalized:
+        assert interval.state is IntervalState.DEFINITE
+
+
+@settings(max_examples=200, deadline=None)
+@given(ACTIONS)
+def test_resolved_aids_have_empty_dom_and_stable_status(actions):
+    machine = _machine()
+    aids = [machine.aid_init(f"a{i}") for i in range(5)]
+    resolved: dict = {}
+    for op, pidx, aidx in actions:
+        _apply(machine, aids, op, PROCS[pidx], aids[aidx])
+        for aid in aids:
+            if aid.status is not AidStatus.PENDING:
+                assert not aid.dom
+                if aid in resolved:
+                    assert resolved[aid] == aid.status
+                else:
+                    resolved[aid] = aid.status
+
+
+@settings(max_examples=200, deadline=None)
+@given(ACTIONS)
+def test_history_indices_monotone_per_process(actions):
+    """Rollback truncation must keep histories strictly ordered."""
+    machine = _machine()
+    aids = [machine.aid_init(f"a{i}") for i in range(5)]
+    for op, pidx, aidx in actions:
+        _apply(machine, aids, op, PROCS[pidx], aids[aidx])
+        for record in machine.processes.values():
+            indices = [e.index for e in record.history]
+            assert indices == sorted(indices)
+            assert len(set(indices)) == len(indices)
+
+
+@settings(max_examples=150, deadline=None)
+@given(ACTIONS, st.integers(min_value=0, max_value=4))
+def test_theorem_6_2_finalize_iff_all_affirmed(actions, target_idx):
+    """Theorem 6.2 (forward direction, observable form): an interval that
+    is definite at quiescence had every AID it ever depended on either
+    affirmed or replaced by affirmed ones — no definite interval may
+    coexist with a *denied* AID it transitively depended on at the end."""
+    machine = _machine()
+    aids = [machine.aid_init(f"a{i}") for i in range(5)]
+    for op, pidx, aidx in actions:
+        _apply(machine, aids, op, PROCS[pidx], aids[aidx])
+    for record in machine.processes.values():
+        for interval in record.intervals:
+            if interval.state is IntervalState.DEFINITE:
+                assert not interval.ido

@@ -1,0 +1,134 @@
+"""CLI tests: check and run mini-HOPE programs from files."""
+
+import io
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+FIGURE2 = str(EXAMPLES / "figure2.hope")
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_check_figure2_ok():
+    code, out = run_cli(["check", FIGURE2])
+    assert code == 0
+    assert "OK (3 process(es))" in out
+
+
+def test_check_reports_errors(tmp_path):
+    bad = tmp_path / "bad.hope"
+    bad.write_text("process P() { undeclared = 1; }")
+    code, out = run_cli(["check", str(bad)])
+    assert code == 1
+    assert "undeclared" in out
+
+
+def test_check_reports_syntax_error(tmp_path):
+    bad = tmp_path / "bad.hope"
+    bad.write_text("process P( {")
+    code, out = run_cli(["check", str(bad)])
+    assert code == 2
+    assert "syntax error" in out
+
+
+def test_run_figure2_happy_path():
+    code, out = run_cli(
+        [
+            "run",
+            FIGURE2,
+            "--spawn", "server=Server:[60]",
+            "--spawn", "worrywart=WorryWart:[60]",
+            "--spawn", "worker=Worker:[10]",
+            "--latency", "10",
+        ]
+    )
+    assert code == 0
+    assert "result='report-complete'" in out
+    assert "'Total is', 10" in out
+    assert "'Summary ...', 11" in out
+
+
+def test_run_figure2_page_full_denies():
+    code, out = run_cli(
+        [
+            "run",
+            FIGURE2,
+            "--spawn", "server=Server:[60]",
+            "--spawn", "worrywart=WorryWart:[60]",
+            "--spawn", "worker=Worker:[70]",
+            "--latency", "10",
+        ]
+    )
+    assert code == 0
+    assert "newpage" in out
+    assert "rollbacks=" in out
+    # at least the PartPage rollback happened
+    rollback_line = [l for l in out.splitlines() if l.startswith("stats:")][0]
+    assert "rollbacks=0" not in rollback_line
+
+
+def test_run_requires_spawn():
+    code, out = run_cli(["run", FIGURE2])
+    assert code == 1
+    assert "nothing to run" in out
+
+
+def test_run_with_trace():
+    code, out = run_cli(
+        [
+            "run",
+            FIGURE2,
+            "--spawn", "server=Server:[60]",
+            "--spawn", "worrywart=WorryWart:[60]",
+            "--spawn", "worker=Worker:[10]",
+            "--trace",
+        ]
+    )
+    assert code == 0
+    assert "trace:" in out
+    assert "guess" in out
+
+
+def test_bad_spawn_spec_rejected():
+    with pytest.raises(SystemExit):
+        run_cli(["run", FIGURE2, "--spawn", "nonsense"])
+
+
+def test_run_occ_example():
+    code, out = run_cli(
+        [
+            "run",
+            str(EXAMPLES / "occ.hope"),
+            "--spawn", "primary=Primary:[4]",
+            "--spawn", "alice=Client:[2]",
+            "--spawn", "bob=Client:[2]",
+            "--latency", "5",
+        ]
+    )
+    assert code == 0
+    assert "('committed', 4, 4)" in out
+    assert out.count("applied") == 4        # every increment exactly once
+    assert "rollbacks=" in out
+
+
+def test_run_aid_task_mode():
+    code, out = run_cli(
+        [
+            "run",
+            FIGURE2,
+            "--spawn", "server=Server:[60]",
+            "--spawn", "worrywart=WorryWart:[60]",
+            "--spawn", "worker=Worker:[10]",
+            "--aid-mode", "aid_task",
+        ]
+    )
+    assert code == 0
+    assert "'Summary ...', 11" in out

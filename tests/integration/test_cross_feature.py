@@ -1,0 +1,105 @@
+"""Cross-feature integration: applications × control planes × failures."""
+
+import pytest
+
+from repro.apps.recovery import (
+    RecoveryConfig,
+    disk,
+    receiver,
+    reference_ledger,
+    sender,
+)
+from repro.apps.replication import (
+    ReplicationWorkload,
+    optimistic_client,
+    primary,
+)
+from repro.apps.tms import SearchProblem, reference_solution, run_search
+from repro.runtime import HopeSystem
+from repro.sim import ConstantLatency
+
+
+def _recovery_system(config, aid_mode, control_latency=1.0):
+    system = HopeSystem(
+        latency=ConstantLatency(config.latency),
+        aid_mode=aid_mode,
+        control_latency=control_latency,
+    )
+    system.spawn("disk", disk, config.log_write_latency)
+    system.spawn("sender", sender, config)
+    system.spawn("receiver", receiver, config)
+    return system
+
+
+@pytest.mark.parametrize("aid_mode", ["registry", "aid_task"])
+def test_recovery_with_sender_crash_under_both_control_planes(aid_mode):
+    config = RecoveryConfig(items=tuple(range(10)), log_write_latency=9.0)
+    system = _recovery_system(config, aid_mode)
+    system.failures.crash_at("sender", 7.0)
+    system.sim.schedule_at(10.0, system.restart_process, "sender")
+    system.run(max_events=5_000_000)
+    assert system.committed_outputs("disk") == reference_ledger(config)
+
+
+@pytest.mark.parametrize("aid_mode", ["registry", "aid_task"])
+def test_replication_contention_under_both_control_planes(aid_mode):
+    workload = ReplicationWorkload(n_clients=3, ops_per_client=3, keys=("hot",))
+    system = HopeSystem(
+        latency=ConstantLatency(5.0), aid_mode=aid_mode, control_latency=0.5
+    )
+    system.spawn("primary", primary)
+    for c in range(workload.n_clients):
+        system.spawn(f"client-{c}", optimistic_client, workload, c)
+    system.run(max_events=5_000_000)
+    applied = [
+        entry
+        for entry in system.committed_outputs("primary")
+        if entry[0] == "applied"
+    ]
+    assert len(applied) == workload.total_ops
+    # final value equals total ops: each increment applied exactly once
+    assert applied[-1][3] == workload.total_ops
+
+
+def test_search_with_rollback_overhead_still_matches_reference():
+    problem = SearchProblem(
+        variables=("a", "b", "c"),
+        clauses=(
+            (("a", False), ("b", False)),
+            (("b", True), ("c", True)),
+            (("a", False), ("c", False)),
+        ),
+    )
+    result = run_search(problem, seed=3)
+    assert result.model == reference_solution(problem)
+
+
+def test_recovery_determinism_across_seeds_with_crashes():
+    """Crash schedules are virtual-time events, so different seeds with a
+    constant-latency network produce the same committed ledger."""
+    config = RecoveryConfig(items=tuple(range(8)), log_write_latency=7.0)
+    ledgers = []
+    for seed in (0, 1, 2):
+        system = _recovery_system(config, "registry")
+        system.failures.crash_at("sender", 6.0)
+        system.sim.schedule_at(9.0, system.restart_process, "sender")
+        system.run(max_events=5_000_000)
+        ledgers.append(system.committed_outputs("disk"))
+    assert ledgers[0] == ledgers[1] == ledgers[2] == reference_ledger(config)
+
+
+def test_machine_invariants_hold_after_every_app():
+    """Belt and braces: the machine algebra must be intact at quiescence
+    of each application run."""
+    config = RecoveryConfig(items=tuple(range(6)))
+    system = _recovery_system(config, "registry")
+    system.run(max_events=5_000_000)
+    system.machine.check_invariants()
+
+    workload = ReplicationWorkload(n_clients=2, ops_per_client=3, keys=("k",))
+    system2 = HopeSystem(latency=ConstantLatency(4.0))
+    system2.spawn("primary", primary)
+    for c in range(workload.n_clients):
+        system2.spawn(f"client-{c}", optimistic_client, workload, c)
+    system2.run(max_events=5_000_000)
+    system2.machine.check_invariants()

@@ -1,0 +1,79 @@
+"""Every example script must run to completion and tell a coherent story."""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> str:
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return buffer.getvalue()
+
+
+def test_examples_directory_complete():
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "call_streaming.py",
+        "optimistic_replication.py",
+        "optimistic_recovery.py",
+        "timewarp_demo.py",
+        "lang_demo.py",
+    } <= present
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "fast path" in out
+    assert "slow path" in out
+    assert "rollbacks=1" in out
+
+
+def test_call_streaming_example():
+    out = run_example("call_streaming.py")
+    assert out.count("ledgers identical    : True") == 4
+    assert "order race" in out
+
+
+def test_replication_example():
+    out = run_example("optimistic_replication.py")
+    assert "final cells agree: True" in out
+    assert "exactly once: True" in out
+
+
+def test_recovery_example():
+    out = run_example("optimistic_recovery.py")
+    assert out.count("exactly-once     : True") == 4
+
+
+def test_timewarp_example():
+    out = run_example("timewarp_demo.py")
+    assert "all three agree: True" in out
+
+
+def test_lang_example():
+    out = run_example("lang_demo.py")
+    assert "'print', 'Total is', 10" in out.replace('("', "('")
+    assert "newpage" in out
+
+
+def test_two_phase_commit_example():
+    out = run_example("two_phase_commit.py")
+    assert "'commit', 'ABORT', 'commit'" in out
+    assert "final balance (100 per commit): 200" in out
+    assert "cascading speculation" in out
+
+
+def test_timeline_example():
+    out = run_example("timeline_visualization.py")
+    assert "rolled-back" in out
+    assert "x" in out.split("assumption fails")[1].splitlines()[2]
+    assert out.count("===") == 6

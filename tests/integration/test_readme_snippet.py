@@ -1,0 +1,40 @@
+"""The README quickstart snippet must behave exactly as documented."""
+
+from repro import HopeSystem
+from repro.sim import ConstantLatency
+
+
+def worker(p):
+    lock = yield p.aid_init("lock-granted")
+    yield p.send("lock-service", lock)
+    if (yield p.guess(lock)):
+        yield p.emit("fast path")
+        yield p.compute(2.0)
+    else:
+        yield p.emit("slow path")
+        yield p.compute(8.0)
+
+
+def lock_service(p, grant):
+    msg = yield p.recv()
+    yield p.compute(3.0)
+    if grant:
+        yield p.affirm(msg.payload)
+    else:
+        yield p.deny(msg.payload)
+
+
+def test_readme_denied_lock():
+    system = HopeSystem(latency=ConstantLatency(1.0))
+    system.spawn("worker", worker)
+    system.spawn("lock-service", lock_service, False)
+    system.run()
+    assert system.committed_outputs("worker") == ["slow path"]
+
+
+def test_readme_granted_lock():
+    system = HopeSystem(latency=ConstantLatency(1.0))
+    system.spawn("worker", worker)
+    system.spawn("lock-service", lock_service, True)
+    system.run()
+    assert system.committed_outputs("worker") == ["fast path"]

@@ -1,0 +1,126 @@
+"""Moderate-scale stress runs: correctness and bounded cost at size."""
+
+import pytest
+
+from repro.apps.call_streaming import (
+    CallStreamConfig,
+    expected_output,
+    run_optimistic,
+)
+from repro.apps.virtual_time import Job, VtWorkload, run_hope_order
+from repro.baselines.timewarp import SequentialOracle, TimeWarpEngine
+from repro.bench import build_tw_ring
+from repro.runtime import HopeSystem
+from repro.sim import ConstantLatency, RandomStreams, UniformLatency
+
+
+def test_hundred_report_stream_equivalent():
+    config = CallStreamConfig(
+        report_lines=tuple([10, 30, 70, 15][i % 4] for i in range(100)),
+        page_size=60,
+        latency=8.0,
+        n_warts=10,
+    )
+    result = run_optimistic(config)
+    assert result.server_output == expected_output(config)
+
+
+def test_fifty_process_fanout_cascade():
+    system = HopeSystem()
+    width = 50
+
+    def root(p):
+        x = yield p.aid_init("x")
+        yield p.send("judge", x)
+        if (yield p.guess(x)):
+            for i in range(width):
+                yield p.send(f"leaf-{i}", i)
+        yield p.compute(1.0)
+
+    def leaf(p):
+        msg = yield p.recv()
+        yield p.compute(2.0)
+        yield p.send("collector", msg.payload)
+
+    def collector(p):
+        got = 0
+        while got < width:
+            yield p.recv()
+            got += 1
+            yield p.emit(got)
+
+    def judge(p):
+        msg = yield p.recv()
+        yield p.compute(5.0)
+        yield p.deny(msg.payload)
+
+    system.spawn("root", root)
+    system.spawn("judge", judge)
+    system.spawn("collector", collector)
+    for i in range(width):
+        system.spawn(f"leaf-{i}", leaf)
+    system.run(max_events=1_000_000)
+    # everything speculative died: the collector never commits a count
+    assert system.committed_outputs("collector") == []
+    stats = system.stats()
+    assert stats["rollbacks"] == width + 2          # root, leaves, collector
+    assert stats["sim_events"] < 4000               # cost stays linear-ish
+
+
+def test_large_vt_run_with_jitter_matches_reference():
+    streams = []
+    for s in range(5):
+        jobs = tuple(Job(0.3 + s * 0.1 + 2.0 * i, s * 10_000 + i) for i in range(40))
+        streams.append(jobs)
+    workload = VtWorkload(streams=tuple(streams), send_spacing=0.8)
+    latency = UniformLatency(0.2, 6.0, RandomStreams(21)["stress"])
+    result = run_hope_order(workload, latency=latency, seed=21)
+    assert result.final_state == workload.reference_state()
+    assert len(result.ledger) == 200
+
+
+def test_timewarp_long_ring_matches_oracle():
+    engine = TimeWarpEngine(
+        latency=UniformLatency(0.2, 4.0, RandomStreams(5)["twnet"]),
+        service_time=0.1,
+        gvt_interval=25.0,
+    )
+    build_tw_ring(engine, n_lps=6, hops=150)
+    engine.run(max_events=1_000_000)
+    oracle = SequentialOracle()
+    build_tw_ring(oracle, n_lps=6, hops=150)
+    oracle.run()
+    assert engine.final_states() == oracle.final_states()
+    assert engine.stats()["gvt"] == float("inf")
+
+
+def test_deep_replay_chain_is_exact():
+    """A 300-effect prefix replayed after a rollback must restore state
+    bit-for-bit (checked through an accumulated checksum)."""
+    system = HopeSystem()
+    checksums = []
+
+    def worker(p):
+        acc = 0
+        for i in range(300):
+            draw = yield p.random()
+            acc = (acc * 31 + int(draw * 1e6)) % 1_000_003
+        pre = acc
+        x = yield p.aid_init("x")
+        yield p.send("judge", x)
+        if (yield p.guess(x)):
+            acc = 0                      # speculative clobber
+            yield p.compute(5.0)
+        checksums.append((pre, acc))
+
+    def judge(p):
+        msg = yield p.recv()
+        yield p.compute(1.0)
+        yield p.deny(msg.payload)
+
+    system.spawn("worker", worker)
+    system.spawn("judge", judge)
+    system.run(max_events=5_000_000)
+    [(pre, post)] = checksums
+    assert post == pre                   # clobber undone, prefix exact
+    assert system.stats()["replayed_effects"] >= 300

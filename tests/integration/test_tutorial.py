@@ -1,0 +1,56 @@
+"""The tutorial's code must actually work (docs/TUTORIAL.md §2)."""
+
+from repro import HopeSystem
+from repro.sim import ConstantLatency
+
+
+def reader(p):
+    cached = 41
+    fresh = yield p.aid_init("cache-is-fresh")
+    yield p.send("validator", (fresh, cached))
+    if (yield p.guess(fresh)):
+        result = cached * 2
+    else:
+        reply = yield p.recv()
+        result = reply.payload * 2
+    yield p.emit(result)
+
+
+def validator(p, truth):
+    msg = yield p.recv()
+    fresh, cached = msg.payload
+    yield p.compute(5.0)
+    if cached == truth:
+        yield p.affirm(fresh)
+    else:
+        yield p.send(msg.src, truth)
+        yield p.deny(fresh)
+
+
+def run(truth):
+    system = HopeSystem(latency=ConstantLatency(2.0))
+    system.spawn("reader", reader)
+    system.spawn("validator", validator, truth)
+    system.run()
+    return system
+
+
+def test_tutorial_fresh_cache_fast_path():
+    system = run(41)
+    assert system.committed_outputs("reader") == [82]
+    assert system.stats()["rollbacks"] == 0
+
+
+def test_tutorial_stale_cache_slow_path():
+    system = run(99)
+    assert system.committed_outputs("reader") == [198]
+    assert system.stats()["rollbacks"] == 1
+
+
+def test_tutorial_blocking_mode_same_answers():
+    for truth, expected in [(41, 82), (99, 198)]:
+        system = HopeSystem(latency=ConstantLatency(2.0), speculation=False)
+        system.spawn("reader", reader)
+        system.spawn("validator", validator, truth)
+        system.run()
+        assert system.committed_outputs("reader") == [expected]

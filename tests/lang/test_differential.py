@@ -1,0 +1,64 @@
+"""Differential fuzzing: mini-HOPE expression semantics vs Python's.
+
+Random integer arithmetic/comparison/logic expressions are rendered as
+mini-HOPE source and as Python source; both evaluations must agree.
+"""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.lang import compile_program
+from repro.runtime import HopeSystem
+
+
+@st.composite
+def int_exprs(draw, depth=0):
+    """Build (hope_source, python_source) pairs of integer expressions."""
+    if depth > 3 or draw(st.booleans()) and depth > 1:
+        n = draw(st.integers(min_value=0, max_value=50))
+        return (str(n), str(n))
+    op = draw(st.sampled_from(["+", "-", "*", "%"]))
+    left_h, left_p = draw(int_exprs(depth + 1))
+    right_h, right_p = draw(int_exprs(depth + 1))
+    if op == "%":
+        # force a strictly positive divisor (squares are non-negative)
+        right_h = f"(({right_h} * {right_h}) + 1)"
+        right_p = f"(({right_p} * {right_p}) + 1)"
+    return (f"({left_h} {op} {right_h})", f"({left_p} {op} {right_p})")
+
+
+@st.composite
+def bool_exprs(draw):
+    cmp_op = draw(st.sampled_from(["==", "!=", "<", "<=", ">", ">="]))
+    left_h, left_p = draw(int_exprs())
+    right_h, right_p = draw(int_exprs())
+    h = f"({left_h} {cmp_op} {right_h})"
+    p = f"({left_p} {cmp_op} {right_p})"
+    if draw(st.booleans()):
+        h2, p2 = draw(st.tuples(st.just("true"), st.just("True")))
+        logic = draw(st.sampled_from(["&&", "||"]))
+        py_logic = {"&&": "and", "||": "or"}[logic]
+        h = f"({h} {logic} {h2})"
+        p = f"({p} {py_logic} {p2})"
+    return (h, p)
+
+
+def run_hope_expr(source_expr):
+    compiled = compile_program(f"process Main() {{ return {source_expr}; }}")
+    system = HopeSystem()
+    compiled.spawn(system, "main", "Main")
+    system.run(max_events=50_000)
+    return system.result_of("main")
+
+
+@settings(max_examples=120, deadline=None)
+@given(int_exprs())
+def test_integer_expressions_match_python(pair):
+    hope_src, python_src = pair
+    assert run_hope_expr(hope_src) == eval(python_src)
+
+
+@settings(max_examples=80, deadline=None)
+@given(bool_exprs())
+def test_boolean_expressions_match_python(pair):
+    hope_src, python_src = pair
+    assert bool(run_hope_expr(hope_src)) == bool(eval(python_src))

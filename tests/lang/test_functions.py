@@ -1,0 +1,141 @@
+"""User-defined functions in mini-HOPE."""
+
+import pytest
+
+from repro.lang import CheckError, check_program, compile_program, parse
+from repro.lang.pretty import ast_equal, pretty
+from repro.runtime import HopeSystem
+
+
+def run_main(source, *args, **system_kwargs):
+    compiled = compile_program(source)
+    system = HopeSystem(**system_kwargs)
+    compiled.spawn(system, "main", "Main", *args)
+    system.run(max_events=200_000)
+    return system
+
+
+def test_simple_function_call():
+    source = """
+    func double(x) { return x * 2; }
+    process Main(n) { return double(n) + 1; }
+    """
+    assert run_main(source, 10).result_of("main") == 21
+
+
+def test_recursive_function():
+    source = """
+    func fib(n) {
+        if (n < 2) { return n; }
+        return fib(n - 1) + fib(n - 2);
+    }
+    process Main() { return fib(10); }
+    """
+    assert run_main(source).result_of("main") == 55
+
+
+def test_function_scope_is_isolated():
+    source = """
+    func helper(x) { var local = x + 1; return local; }
+    process Main() {
+        var local = 100;
+        var result = helper(1);
+        return tuple(local, result);
+    }
+    """
+    assert run_main(source).result_of("main") == (100, 2)
+
+
+def test_function_without_return_yields_nil():
+    source = """
+    func shout(x) { emit(x); }
+    process Main() { return shout("hi") == nil; }
+    """
+    system = run_main(source)
+    assert system.result_of("main") is True
+    assert system.outputs("main") == ["hi"]
+
+
+def test_function_with_effects_participates_in_speculation():
+    source = """
+    func work(units) { compute(units); emit("worked"); return units; }
+    process Main(verifier) {
+        var x = aid_init("x");
+        send(verifier, x);
+        if (guess(x)) {
+            work(10);
+        } else {
+            work(1);
+        }
+        return now();
+    }
+    process Verifier() {
+        var msg = recv();
+        compute(2);
+        deny(payload(msg));
+    }
+    """
+    compiled = compile_program(source)
+    system = HopeSystem()
+    compiled.spawn(system, "verifier", "Verifier")
+    compiled.spawn(system, "main", "Main", "verifier")
+    system.run(max_events=200_000)
+    # the speculative work("worked") emit was withdrawn; only the
+    # pessimistic one committed
+    assert system.committed_outputs("main") == ["worked"]
+    assert system.stats()["rollbacks"] == 1
+
+
+def test_rpc_corr_unique_across_function_frames():
+    source = """
+    func ask(server, value) { return call(server, value); }
+    process Main(server) {
+        var a = ask(server, 1);
+        var b = ask(server, 2);
+        return tuple(a, b);
+    }
+    process Echo() {
+        while (true) { var m = recv(); reply(m, payload(m) * 10); }
+    }
+    """
+    compiled = compile_program(source)
+    system = HopeSystem()
+    compiled.spawn(system, "server", "Echo")
+    compiled.spawn(system, "main", "Main", "server")
+    system.run(max_events=200_000)
+    assert system.result_of("main") == (10, 20)
+
+
+def test_function_shadowing_builtin_rejected():
+    with pytest.raises(CheckError, match="shadows a builtin"):
+        compile_program("func len(x) { return 0; } process Main() { }")
+
+
+def test_duplicate_function_rejected():
+    with pytest.raises(CheckError, match="duplicate function"):
+        compile_program(
+            "func f(x) { return x; } func f(y) { return y; } process Main() { }"
+        )
+
+
+def test_function_arity_checked_statically():
+    with pytest.raises(CheckError, match="takes 2 argument"):
+        compile_program(
+            "func add(a, b) { return a + b; } process Main() { return add(1); }"
+        )
+
+
+def test_functions_checked_for_undeclared_vars():
+    report = check_program(parse("func f() { return ghost; } process Main() { }"))
+    assert any("ghost" in e for e in report.errors)
+
+
+def test_pretty_round_trip_with_functions():
+    source = """
+    func add(a, b) { return a + b; }
+    process Main() { return add(1, 2); }
+    """
+    first = parse(source)
+    printed = pretty(first)
+    assert printed.startswith("func add(a, b)")
+    assert ast_equal(first, parse(printed))

@@ -1,0 +1,96 @@
+"""Interpreter runtime error paths and value semantics."""
+
+import pytest
+
+from repro.lang import HopeLangError, compile_program
+from repro.runtime import HopeSystem
+
+
+def run_main(source, *args):
+    compiled = compile_program(source)
+    system = HopeSystem()
+    compiled.spawn(system, "main", "Main", *args)
+    system.run(max_events=100_000)
+    return system
+
+
+def test_bad_index_raises_hopelang_error():
+    source = 'process Main() { var t = tuple(1, 2); return t[9]; }'
+    with pytest.raises(HopeLangError, match="bad index"):
+        run_main(source)
+
+
+def test_bad_operands_raise():
+    source = 'process Main() { return 1 + "s"; }'
+    with pytest.raises(HopeLangError, match="bad operands"):
+        run_main(source)
+
+
+def test_division_produces_float():
+    system = run_main("process Main() { return 7 / 2; }")
+    assert system.result_of("main") == 3.5
+
+
+def test_modulo_and_precedence():
+    system = run_main("process Main() { return 17 % 5 + 2 * 3; }")
+    assert system.result_of("main") == 8
+
+
+def test_unary_negation_and_not():
+    system = run_main("process Main() { return -(3) + 10; }")
+    assert system.result_of("main") == 7
+    system = run_main("process Main() { if (!false) { return 1; } return 0; }")
+    assert system.result_of("main") == 1
+
+
+def test_short_circuit_and_or():
+    # RHS would crash if evaluated: short-circuit must protect it
+    source = 'process Main() { var t = tuple(1); return false && t[9] == 1; }'
+    system = run_main(source)
+    assert system.result_of("main") is False
+    source = 'process Main() { var t = tuple(1); return true || t[9] == 1; }'
+    system = run_main(source)
+    assert system.result_of("main") is True
+
+
+def test_nil_and_booleans_roundtrip():
+    system = run_main("process Main(v) { if (v == nil) { return true; } return false; }", None)
+    assert system.result_of("main") is True
+
+
+def test_str_len_nth_builtins():
+    source = """
+    process Main() {
+        var t = tuple("a", "bc", 3);
+        return str(len(t)) + str(nth(t, 2));
+    }
+    """
+    assert run_main(source).result_of("main") == "33"
+
+
+def test_var_without_initializer_is_nil():
+    system = run_main("process Main() { var x; return x == nil; }")
+    assert system.result_of("main") is True
+
+
+def test_while_with_return_exits_loop():
+    source = """
+    process Main() {
+        var i = 0;
+        while (true) {
+            i = i + 1;
+            if (i == 5) { return i; }
+        }
+    }
+    """
+    assert run_main(source).result_of("main") == 5
+
+
+def test_process_without_return_yields_none():
+    system = run_main("process Main() { compute(1); }")
+    assert system.result_of("main") is None
+
+
+def test_shadowing_warning_surfaced():
+    compiled = compile_program("process Main() { var x = 1; var x = 2; }")
+    assert any("shadows" in w for w in compiled.warnings)

@@ -1,0 +1,116 @@
+"""Pretty-printer round-trip: parse → pretty → parse is the identity."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import parse
+from repro.lang.pretty import ast_equal, pretty
+
+SAMPLES = [
+    "process Main() { }",
+    'process P(a, b) { var x = a + b * 2; return x % 7; }',
+    """
+    process Worker(total) {
+        var PartPage = aid_init("PartPage");
+        send("wart", tuple(PartPage, total));
+        if (guess(PartPage)) { skip; } else { call("server", tuple("newpage")); }
+        compute(1.5);
+    }
+    """,
+    """
+    process Loop() {
+        var i = 0;
+        while (i < 10) {
+            if (i % 2 == 0) { emit(i); } else { skip; }
+            i = i + 1;
+        }
+        return nil;
+    }
+    """,
+    'process S() { var m = recv(); reply(m, payload(m)[0]); }',
+    'process Ops() { var a = !(1 < 2) || true && false; var b = -3 - -4; }',
+    'process Str() { emit("line\\nbreak\\t\\"quoted\\""); }',
+    "process Chain(x) { if (x == 1) { skip; } else { if (x == 2) { skip; } else { emit(x); } } }",
+]
+
+
+def test_round_trip_on_samples():
+    for source in SAMPLES:
+        first = parse(source)
+        printed = pretty(first)
+        second = parse(printed)
+        assert ast_equal(first, second), printed
+        # pretty is a fixed point
+        assert pretty(second) == printed
+
+
+def test_precedence_parens_preserved():
+    source = "process P() { var x = (1 + 2) * 3; var y = 1 + 2 * 3; }"
+    program = parse(source)
+    printed = pretty(program)
+    assert "(1 + 2) * 3" in printed
+    assert "1 + 2 * 3" in printed
+    assert ast_equal(program, parse(printed))
+
+
+# --------------------------------------------------------------- fuzzing
+_names = st.sampled_from(["a", "b", "c", "x", "y"])
+_literals = st.one_of(
+    st.integers(min_value=0, max_value=999).map(lambda n: str(n)),
+    st.sampled_from(["true", "false", "nil", '"s"', "1.5"]),
+)
+
+
+@st.composite
+def _exprs(draw, depth=0):
+    if depth > 2:
+        return draw(_literals)
+    choice = draw(st.integers(min_value=0, max_value=4))
+    if choice == 0:
+        return draw(_literals)
+    if choice == 1:
+        return draw(_names)
+    if choice == 2:
+        op = draw(st.sampled_from(["+", "-", "*", "==", "<", "&&", "||"]))
+        left = draw(_exprs(depth + 1))
+        right = draw(_exprs(depth + 1))
+        return f"({left} {op} {right})"
+    if choice == 3:
+        inner = draw(_exprs(depth + 1))
+        return f"(!{inner})"
+    args = draw(st.lists(_exprs(depth + 1), max_size=2))
+    return f"tuple({', '.join(args)})"
+
+
+@st.composite
+def _programs(draw):
+    statements = []
+    declared = []
+    n = draw(st.integers(min_value=1, max_value=5))
+    for index in range(n):
+        kind = draw(st.integers(min_value=0, max_value=3))
+        if kind == 0 or not declared:
+            name = f"v{index}"
+            statements.append(f"var {name} = {draw(_exprs())};")
+            declared.append(name)
+        elif kind == 1:
+            target = draw(st.sampled_from(declared))
+            statements.append(f"{target} = {draw(_exprs())};")
+        elif kind == 2:
+            statements.append(
+                f"if ({draw(_exprs())}) {{ skip; }} else {{ emit({draw(_exprs())}); }}"
+            )
+        else:
+            statements.append(f"emit({draw(_exprs())});")
+    body = " ".join(statements)
+    params = ", ".join(draw(st.lists(_names, unique=True, max_size=2)))
+    return f"process Fuzz({params}) {{ {body} }}"
+
+
+@settings(max_examples=150, deadline=None)
+@given(_programs())
+def test_round_trip_fuzzed(source):
+    first = parse(source)
+    printed = pretty(first)
+    second = parse(printed)
+    assert ast_equal(first, second), printed
+    assert pretty(second) == printed

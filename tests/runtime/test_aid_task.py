@@ -1,0 +1,151 @@
+"""Tests for the distributed AID-task control plane (§7)."""
+
+import pytest
+
+from repro.core import AidStatus, HopeError
+from repro.runtime import HopeSystem
+
+
+def _basic_program(decision):
+    def worker(p):
+        x = yield p.aid_init("x")
+        yield p.send("verifier", x)
+        if (yield p.guess(x)):
+            yield p.emit("optimistic")
+            yield p.compute(5.0)
+        else:
+            yield p.emit("pessimistic")
+        yield p.emit("after")
+
+    def verifier(p):
+        msg = yield p.recv()
+        yield p.compute(2.0)
+        if decision == "affirm":
+            yield p.affirm(msg.payload)
+        else:
+            yield p.deny(msg.payload)
+
+    return worker, verifier
+
+
+def run_mode(decision, aid_mode, control_latency=3.0):
+    system = HopeSystem(aid_mode=aid_mode, control_latency=control_latency)
+    worker, verifier = _basic_program(decision)
+    system.spawn("worker", worker)
+    system.spawn("verifier", verifier)
+    makespan = system.run()
+    return system, makespan
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(HopeError):
+        HopeSystem(aid_mode="quantum")
+
+
+def test_negative_control_latency_rejected():
+    with pytest.raises(ValueError):
+        HopeSystem(aid_mode="aid_task", control_latency=-1.0)
+
+
+@pytest.mark.parametrize("decision", ["affirm", "deny"])
+def test_modes_agree_on_committed_outputs(decision):
+    reg_sys, _ = run_mode(decision, "registry")
+    task_sys, _ = run_mode(decision, "aid_task")
+    assert reg_sys.committed_outputs("worker") == task_sys.committed_outputs("worker")
+
+
+def test_task_mode_delays_resolution():
+    reg_sys, reg_time = run_mode("deny", "registry")
+    task_sys, task_time = run_mode("deny", "aid_task", control_latency=4.0)
+    # deny issued at t=2; applied at t=6; NOTIFY costs 4 more before restart
+    assert task_time > reg_time
+    x_reg = [a for a in reg_sys.machine.aids.values()][0]
+    x_task = [a for a in task_sys.machine.aids.values()][0]
+    assert x_reg.status is AidStatus.DENIED
+    assert x_task.status is AidStatus.DENIED
+
+
+def test_task_mode_counts_control_traffic():
+    system, _ = run_mode("affirm", "aid_task")
+    stats = system.stats()
+    assert stats["aid_mode"] == "aid_task"
+    # one DEPEND (guess) + one AFFIRM control message at minimum
+    assert stats["control_messages"] >= 2
+    registry, _ = run_mode("affirm", "registry")
+    assert registry.stats()["control_messages"] == 0
+
+
+def test_caller_never_blocks_on_resolution():
+    """The §7 property: issuing a resolution costs the caller no time."""
+    times = []
+
+    def worker(p):
+        x = yield p.aid_init("x")
+        yield p.guess(x)
+        t0 = yield p.now()
+        yield p.affirm(x)
+        t1 = yield p.now()
+        times.append((t0, t1))
+        yield p.compute(1.0)
+
+    system = HopeSystem(aid_mode="aid_task", control_latency=50.0)
+    system.spawn("worker", worker)
+    system.run()
+    [(t0, t1)] = times
+    assert t0 == t1                        # the affirm did not wait
+
+
+def test_victim_keeps_speculating_until_notified():
+    """With a slow control plane the victim piles up wasted work that the
+    registry plane would have cut short."""
+    def worker(p):
+        x = yield p.aid_init("x")
+        yield p.send("verifier", x)
+        if (yield p.guess(x)):
+            for _ in range(20):
+                yield p.compute(1.0)       # keeps going while DENY travels
+
+    def verifier(p):
+        msg = yield p.recv()
+        yield p.compute(2.0)
+        yield p.deny(msg.payload)
+
+    def run(mode, latency):
+        system = HopeSystem(aid_mode=mode, control_latency=latency)
+        system.spawn("worker", worker)
+        system.spawn("verifier", verifier)
+        system.run()
+        return system.stats()["wasted_time"]
+
+    assert run("aid_task", 10.0) > run("registry", 0.0)
+
+
+def test_call_streaming_equivalent_under_task_mode():
+    """The Figure 2 pipeline must commit the same ledger on both planes."""
+    from repro.apps.call_streaming import (
+        CallStreamConfig,
+        expected_output,
+        print_server,
+        oneway_gateway,
+        worrywart,
+        optimistic_worker,
+        _build_system,
+    )
+    import repro.apps.call_streaming as cs
+
+    config = CallStreamConfig(report_lines=(30, 70, 20), page_size=60)
+    outputs = {}
+    for mode in ("registry", "aid_task"):
+        system = HopeSystem(
+            latency=_build_system(config, 0, None).network.latency,
+            aid_mode=mode,
+            control_latency=0.5,
+        )
+        system.spawn("server", print_server, config.page_size, config.server_service_time)
+        system.spawn("server_oneway", oneway_gateway)
+        system.spawn("worrywart-0", worrywart, config, config.n_reports)
+        system.spawn("worker", optimistic_worker, config)
+        system.run(max_events=2_000_000)
+        outputs[mode] = system.committed_outputs("server")
+    assert outputs["registry"] == outputs["aid_task"]
+    assert outputs["registry"] == expected_output(config)

@@ -1,0 +1,89 @@
+"""Guardrails: replay divergence detection, stats counters, misc edges."""
+
+import pytest
+
+from repro.core import AidStatus
+from repro.runtime import HopeSystem, ReplayDivergenceError
+
+
+def test_nondeterministic_body_caught_at_replay():
+    """A body that consults unlogged mutable state diverges on replay —
+    the runtime must refuse loudly instead of silently corrupting."""
+    system = HopeSystem()
+    sneaky = {"runs": 0}
+
+    def worker(p):
+        sneaky["runs"] += 1
+        if sneaky["runs"] == 1:
+            yield p.compute(1.0)          # first incarnation: compute
+        else:
+            yield p.now()                 # replay: different effect!
+        x = yield p.aid_init("x")
+        yield p.send("judge", x)
+        if (yield p.guess(x)):
+            yield p.compute(5.0)
+
+    def judge(p):
+        msg = yield p.recv()
+        yield p.compute(1.0)
+        yield p.deny(msg.payload)
+
+    system.spawn("worker", worker)
+    system.spawn("judge", judge)
+    with pytest.raises(ReplayDivergenceError, match="not deterministic"):
+        system.run()
+
+
+def test_stats_aid_status_counters():
+    system = HopeSystem()
+
+    def worker(p):
+        a = yield p.aid_init("a")
+        b = yield p.aid_init("b")
+        c = yield p.aid_init("c")
+        yield p.send("judge", (a, b))
+        yield p.guess(c)                  # c stays pending forever
+        yield p.compute(1.0)
+
+    def judge(p):
+        msg = yield p.recv()
+        a, b = msg.payload
+        yield p.affirm(a)
+        yield p.deny(b)
+
+    system.spawn("worker", worker)
+    system.spawn("judge", judge)
+    system.run()
+    stats = system.stats()
+    assert stats["aids_affirmed"] == 1
+    assert stats["aids_denied"] == 1
+    assert stats["aids_pending"] == 1
+
+
+def test_pending_aids_lists_unresolved():
+    system = HopeSystem()
+
+    def worker(p):
+        x = yield p.aid_init("never-resolved")
+        yield p.guess(x)
+        yield p.compute(1.0)
+
+    system.spawn("worker", worker)
+    system.run()
+    [aid] = system.pending_aids()
+    assert aid.name == "never-resolved"
+    assert aid.status is AidStatus.PENDING
+
+
+def test_is_done_and_result_roundtrip():
+    system = HopeSystem()
+
+    def worker(p):
+        yield p.compute(2.0)
+        return "finished-value"
+
+    system.spawn("worker", worker)
+    assert not system.is_done("worker")
+    system.run()
+    assert system.is_done("worker")
+    assert system.result_of("worker") == "finished-value"

@@ -1,0 +1,88 @@
+"""Output-commit discipline: p.emit under speculation, rollback, replay."""
+
+from repro.runtime import HopeSystem
+
+
+def _verify(decision):
+    def verifier(p):
+        msg = yield p.recv()
+        yield p.compute(2.0)
+        if decision == "affirm":
+            yield p.affirm(msg.payload)
+        else:
+            yield p.deny(msg.payload)
+
+    return verifier
+
+
+def _worker(p):
+    yield p.emit("definite-before")
+    x = yield p.aid_init("x")
+    yield p.send("verifier", x)
+    if (yield p.guess(x)):
+        yield p.emit("speculative")
+        yield p.compute(5.0)
+    else:
+        yield p.emit("pessimistic")
+    yield p.emit("after")
+
+
+def test_emits_withdrawn_on_rollback():
+    system = HopeSystem()
+    system.spawn("worker", _worker)
+    system.spawn("verifier", _verify("deny"))
+    system.run()
+    assert system.outputs("worker") == ["definite-before", "pessimistic", "after"]
+    assert system.committed_outputs("worker") == system.outputs("worker")
+
+
+def test_emits_committed_on_affirm():
+    system = HopeSystem()
+    system.spawn("worker", _worker)
+    system.spawn("verifier", _verify("affirm"))
+    system.run()
+    assert system.outputs("worker") == ["definite-before", "speculative", "after"]
+    assert system.committed_outputs("worker") == system.outputs("worker")
+
+
+def test_speculative_emit_not_committed_while_pending():
+    system = HopeSystem()
+
+    def worker(p):
+        x = yield p.aid_init("x")
+        yield p.guess(x)
+        yield p.emit("maybe")
+        yield p.compute(1.0)
+
+    system.spawn("worker", worker)
+    system.run()
+    assert system.outputs("worker") == ["maybe"]
+    assert system.committed_outputs("worker") == []
+
+
+def test_replay_does_not_duplicate_emits():
+    system = HopeSystem()
+
+    def worker(p):
+        yield p.emit("pre")                  # in the replayed prefix
+        x = yield p.aid_init("x")
+        y = yield p.aid_init("y")
+        yield p.send("judge", (x, y))
+        yield p.guess(x)
+        yield p.guess(y)
+        yield p.compute(1.0)
+        yield p.emit("tail")
+
+    def judge(p):
+        msg = yield p.recv()
+        x, y = msg.payload
+        yield p.compute(2.0)
+        yield p.deny(y)
+        yield p.compute(2.0)
+        yield p.affirm(x)
+
+    system.spawn("worker", worker)
+    system.spawn("judge", judge)
+    system.run()
+    assert system.outputs("worker") == ["pre", "tail"]
+    assert system.committed_outputs("worker") == ["pre", "tail"]

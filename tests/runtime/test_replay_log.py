@@ -1,0 +1,82 @@
+"""Unit tests for the effect log and replay machinery."""
+
+import pytest
+
+from repro.runtime import Checkpoint, EffectLog, LogEntry, ReplayDivergenceError
+from repro.runtime.replay import HopeError
+
+
+def test_append_advances_cursor_keeps_live():
+    log = EffectLog()
+    log.append("compute", None)
+    log.append("recv", "msg")
+    assert len(log) == 2
+    assert not log.replaying
+
+
+def test_begin_replay_rewinds_and_feeds_in_order():
+    log = EffectLog()
+    log.append("a", 1)
+    log.append("b", 2)
+    log.begin_replay()
+    assert log.replaying
+    assert log.feed("a") == 1
+    assert log.feed("b") == 2
+    assert not log.replaying
+    assert log.replay_count == 1
+    assert log.replayed_entries_total == 2
+
+
+def test_feed_checks_effect_kind():
+    log = EffectLog()
+    log.append("compute", None)
+    log.begin_replay()
+    with pytest.raises(ReplayDivergenceError):
+        log.feed("recv")
+
+
+def test_truncate_drops_suffix_and_clamps_cursor():
+    log = EffectLog()
+    for i in range(5):
+        log.append("e", i)
+    dropped = log.truncate(2)
+    assert dropped == 3
+    assert len(log) == 2
+    assert not log.replaying            # cursor clamped to the new tail
+
+
+def test_truncate_beyond_length_raises():
+    log = EffectLog()
+    log.append("e", 0)
+    with pytest.raises(HopeError):
+        log.truncate(5)
+
+
+def test_live_appends_during_partial_replay_not_allowed_by_shape():
+    """After replay finishes, appends continue the same log."""
+    log = EffectLog()
+    log.append("a", 1)
+    log.begin_replay()
+    log.feed("a")
+    log.append("b", 2)
+    assert len(log) == 2
+    assert not log.replaying
+
+
+def test_begin_replay_on_empty_log_counts_nothing():
+    log = EffectLog()
+    log.begin_replay()
+    assert log.replay_count == 0
+    assert not log.replaying
+
+
+def test_checkpoint_repr_and_fields():
+    cp = Checkpoint(log_index=7, time=3.25)
+    assert cp.log_index == 7
+    assert cp.time == 3.25
+    assert "7" in repr(cp)
+
+
+def test_log_entry_repr():
+    entry = LogEntry("recv", "payload")
+    assert "recv" in repr(entry)

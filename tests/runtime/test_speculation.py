@@ -1,0 +1,355 @@
+"""Speculation and rollback end-to-end: guess / affirm / deny / replay."""
+
+import pytest
+
+from repro.core import AidStatus
+from repro.runtime import HopeSystem
+from repro.sim import ConstantLatency, Span
+
+
+def test_guess_affirm_keeps_optimistic_path():
+    system = HopeSystem()
+    path = []
+
+    def worker(p):
+        x = yield p.aid_init("x")
+        yield p.send("verifier", x)
+        if (yield p.guess(x)):
+            path.append("optimistic")
+            yield p.compute(1.0)
+        else:
+            path.append("pessimistic")
+            yield p.compute(5.0)
+        path.append("done")
+
+    def verifier(p):
+        msg = yield p.recv()
+        yield p.compute(2.0)
+        yield p.affirm(msg.payload)
+
+    system.spawn("worker", worker)
+    system.spawn("verifier", verifier)
+    system.run()
+    assert path == ["optimistic", "done"]
+    assert system.procs["worker"].restarts == 0
+
+
+def test_guess_deny_rolls_back_to_pessimistic_path():
+    system = HopeSystem()
+    path = []
+
+    def worker(p):
+        x = yield p.aid_init("x")
+        yield p.send("verifier", x)
+        if (yield p.guess(x)):
+            path.append("optimistic")
+            yield p.compute(10.0)
+        else:
+            path.append("pessimistic")
+            yield p.compute(1.0)
+        path.append("done")
+
+    def verifier(p):
+        msg = yield p.recv()
+        yield p.compute(2.0)
+        yield p.deny(msg.payload)
+
+    system.spawn("worker", worker)
+    system.spawn("verifier", verifier)
+    system.run()
+    # the optimistic branch ran, was rolled back, then the pessimistic ran
+    assert path == ["optimistic", "pessimistic", "done"]
+    assert system.procs["worker"].restarts == 1
+    assert system.stats()["rollbacks"] == 1
+
+
+def test_deny_before_guess_skips_speculation():
+    """guess on an already-denied AID returns False immediately."""
+    system = HopeSystem()
+    path = []
+
+    def worker(p):
+        x = yield p.aid_init("x")
+        yield p.send("verifier", x)
+        yield p.compute(10.0)                # verifier denies meanwhile
+        if (yield p.guess(x)):
+            path.append("optimistic")
+        else:
+            path.append("pessimistic")
+
+    def verifier(p):
+        msg = yield p.recv()
+        yield p.deny(msg.payload)
+
+    system.spawn("worker", worker)
+    system.spawn("verifier", verifier)
+    system.run()
+    assert path == ["pessimistic"]
+    assert system.procs["worker"].restarts == 0
+
+
+def test_rollback_restores_pre_guess_state_via_replay():
+    """Work done before the guess must survive the rollback exactly."""
+    system = HopeSystem()
+    observed = []
+
+    def worker(p):
+        acc = 0
+        for _ in range(3):
+            acc += int((yield p.random()) * 1000)
+        pre_guess = acc
+        x = yield p.aid_init("x")
+        yield p.send("verifier", x)
+        if (yield p.guess(x)):
+            acc += 10_000                     # speculative mutation
+            yield p.compute(5.0)
+        observed.append((pre_guess, acc))
+
+    def verifier(p):
+        msg = yield p.recv()
+        yield p.compute(1.0)
+        yield p.deny(msg.payload)
+
+    system.spawn("worker", worker)
+    system.spawn("verifier", verifier)
+    system.run()
+    [(pre_guess, final)] = observed
+    assert final == pre_guess                 # speculative +10_000 undone
+
+
+def test_wasted_time_accounted_on_rollback():
+    system = HopeSystem()
+
+    def worker(p):
+        x = yield p.aid_init("x")
+        yield p.send("verifier", x)
+        if (yield p.guess(x)):
+            yield p.compute(7.0)
+
+    def verifier(p):
+        msg = yield p.recv()
+        yield p.compute(3.0)
+        yield p.deny(msg.payload)
+
+    system.spawn("worker", worker)
+    system.spawn("verifier", verifier)
+    system.run()
+    assert system.stats()["wasted_time"] == pytest.approx(3.0)
+
+
+def test_rollback_overhead_charged():
+    system = HopeSystem(rollback_overhead=5.0)
+    times = []
+
+    def worker(p):
+        x = yield p.aid_init("x")
+        yield p.send("verifier", x)
+        if (yield p.guess(x)):
+            yield p.compute(100.0)
+        times.append((yield p.now()))
+
+    def verifier(p):
+        msg = yield p.recv()
+        yield p.compute(2.0)
+        yield p.deny(msg.payload)
+
+    system.spawn("worker", worker)
+    system.spawn("verifier", verifier)
+    system.run()
+    # deny at t=2, restart at t=7, falls straight through the False branch
+    assert times == [7.0]
+
+
+def test_message_from_rolled_back_interval_is_retracted():
+    """§1: a message sent speculatively dies with its interval."""
+    system = HopeSystem(latency=ConstantLatency(4.0))
+    received = []
+
+    def worker(p):
+        x = yield p.aid_init("x")
+        yield p.send("verifier", x)          # arrives at t=4
+        if (yield p.guess(x)):
+            yield p.compute(2.0)
+            yield p.send("bystander", "speculative-hello")  # in flight t=2..6
+        yield p.compute(1.0)
+
+    def verifier(p):
+        msg = yield p.recv()
+        yield p.compute(1.0)
+        yield p.deny(msg.payload)            # deny at t=5: retracts in-flight msg
+
+    def bystander(p):
+        msg = yield p.recv(timeout=50.0)
+        received.append(msg)
+
+    system.spawn("worker", worker)
+    system.spawn("verifier", verifier)
+    system.spawn("bystander", bystander)
+    system.run()
+    from repro.sim import TIMED_OUT
+
+    assert received == [TIMED_OUT]
+
+
+def test_tagged_message_makes_receiver_speculative_and_rolls_back():
+    """§3: receiving a tagged message implicitly guesses its AIDs."""
+    system = HopeSystem()
+    events = []
+
+    def worker(p):
+        x = yield p.aid_init("x")
+        yield p.send("verifier", x)
+        if (yield p.guess(x)):
+            yield p.send("downstream", "spec-data")
+        yield p.compute(1.0)
+
+    def downstream(p):
+        msg = yield p.recv()
+        events.append(("got", msg.payload))
+        yield p.compute(100.0)               # long speculative work
+        events.append("finished")            # must not happen before deny
+
+    def verifier(p):
+        msg = yield p.recv()
+        yield p.compute(5.0)
+        yield p.deny(msg.payload)
+
+    system.spawn("worker", worker)
+    system.spawn("verifier", verifier)
+    system.spawn("downstream", downstream)
+    system.run()
+    # downstream received, rolled back, and the dead message never returned
+    assert events == [("got", "spec-data")]
+    assert system.procs["downstream"].restarts == 1
+    assert not system.is_done("downstream")  # waiting for a new message
+
+
+def test_tagged_message_receiver_survives_affirm():
+    system = HopeSystem()
+    events = []
+
+    def worker(p):
+        x = yield p.aid_init("x")
+        yield p.send("verifier", x)
+        if (yield p.guess(x)):
+            yield p.send("downstream", "spec-data")
+        yield p.compute(1.0)
+
+    def downstream(p):
+        msg = yield p.recv()
+        yield p.compute(2.0)
+        events.append(("done", msg.payload))
+
+    def verifier(p):
+        msg = yield p.recv()
+        yield p.compute(5.0)
+        yield p.affirm(msg.payload)
+
+    system.spawn("worker", worker)
+    system.spawn("verifier", verifier)
+    system.spawn("downstream", downstream)
+    system.run()
+    assert events == [("done", "spec-data")]
+    assert system.procs["downstream"].restarts == 0
+    assert system.stats()["implicit_guesses"] == 1
+
+
+def test_cascading_rollback_chain():
+    """A deny at the root rolls back a whole chain of tagged receivers."""
+    depth = 5
+    system = HopeSystem()
+
+    def root(p):
+        x = yield p.aid_init("x")
+        yield p.send("verifier", x)
+        if (yield p.guess(x)):
+            yield p.send("n0", 0)
+        yield p.compute(1.0)
+
+    def relay(p, i):
+        msg = yield p.recv()
+        if i + 1 < depth:
+            yield p.send(f"n{i + 1}", msg.payload + 1)
+        yield p.compute(1.0)
+
+    def verifier(p):
+        msg = yield p.recv()
+        yield p.compute(20.0)                # let the chain propagate
+        yield p.deny(msg.payload)
+
+    system.spawn("root", root)
+    system.spawn("verifier", verifier)
+    for i in range(depth):
+        system.spawn(f"n{i}", relay, i)
+    system.run()
+    stats = system.stats()
+    assert stats["rollbacks"] == depth + 1   # root + every relay
+    for i in range(depth):
+        assert system.procs[f"n{i}"].restarts == 1
+
+
+def test_redelivery_of_surviving_message_after_rollback():
+    """A message consumed inside a discarded interval, whose sender was
+    definite, must be redelivered to the restarted incarnation."""
+    system = HopeSystem()
+    deliveries = []
+
+    def worker(p):
+        x = yield p.aid_init("x")
+        yield p.send("verifier", x)
+        if (yield p.guess(x)):
+            msg = yield p.recv()             # consumed speculatively
+            deliveries.append(("spec", msg.payload))
+            yield p.compute(50.0)
+        else:
+            msg = yield p.recv()             # must see the same message again
+            deliveries.append(("definite", msg.payload))
+
+    def definite_sender(p):
+        yield p.compute(1.0)
+        yield p.send("worker", "durable")
+
+    def verifier(p):
+        msg = yield p.recv()
+        yield p.compute(10.0)
+        yield p.deny(msg.payload)
+
+    system.spawn("worker", worker)
+    system.spawn("definite_sender", definite_sender)
+    system.spawn("verifier", verifier)
+    system.run()
+    assert deliveries == [("spec", "durable"), ("definite", "durable")]
+
+
+def test_nested_guesses_roll_back_independently():
+    system = HopeSystem()
+    trail = []
+
+    def worker(p):
+        x = yield p.aid_init("x")
+        y = yield p.aid_init("y")
+        yield p.send("judge", (x, y))
+        gx = yield p.guess(x)
+        trail.append(("x", gx))
+        gy = yield p.guess(y)
+        trail.append(("y", gy))
+        yield p.compute(1.0)
+
+    def judge(p):
+        msg = yield p.recv()
+        x, y = msg.payload
+        yield p.compute(2.0)
+        yield p.deny(y)                      # only the inner interval dies
+        yield p.compute(2.0)
+        yield p.affirm(x)
+
+    system.spawn("worker", worker)
+    system.spawn("judge", judge)
+    system.run()
+    # The raw closure sees the replayed prefix re-execute: after the y
+    # rollback, the surviving guess(x)=True is replayed (("x", True) appears
+    # again) and then guess(y) re-executes live returning False.  Use
+    # p.emit for replay-clean observations (see test_outputs.py).
+    assert trail == [("x", True), ("y", True), ("x", True), ("y", False)]
+    assert system.procs["worker"].restarts == 1
+    assert system.stats()["finalizes"] >= 1

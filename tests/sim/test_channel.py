@@ -1,0 +1,186 @@
+"""Tests for mailboxes, message retraction, and the network."""
+
+import pytest
+
+from repro.sim import (
+    ConstantLatency,
+    Network,
+    Recv,
+    SequenceLatency,
+    Simulator,
+    Task,
+    Timeout,
+    UnknownEndpointError,
+)
+
+
+def make_net(latency=None):
+    sim = Simulator()
+    net = Network(sim, latency)
+    return sim, net
+
+
+def test_constant_latency_delays_delivery():
+    sim, net = make_net(ConstantLatency(4.0))
+    box = net.register("rx")
+    got = []
+
+    def receiver(env):
+        msg = yield Recv(box)
+        got.append((env.now, msg.payload))
+
+    Task(sim, "rx", receiver).start()
+    net.send("tx", "rx", "pkt")
+    sim.run()
+    assert got == [(4.0, "pkt")]
+
+
+def test_fifo_order_for_equal_latency():
+    sim, net = make_net(ConstantLatency(1.0))
+    box = net.register("rx")
+    got = []
+
+    def receiver(env):
+        for _ in range(3):
+            msg = yield Recv(box)
+            got.append(msg.payload)
+
+    Task(sim, "rx", receiver).start()
+    for i in range(3):
+        net.send("tx", "rx", i)
+    sim.run()
+    assert got == [0, 1, 2]
+
+
+def test_sequence_latency_can_reorder_messages():
+    """The Figure 2 race: a later send overtakes an earlier one."""
+    sim, net = make_net(SequenceLatency([10.0, 1.0]))
+    box = net.register("rx")
+    got = []
+
+    def receiver(env):
+        for _ in range(2):
+            msg = yield Recv(box)
+            got.append(msg.payload)
+
+    Task(sim, "rx", receiver).start()
+    net.send("tx", "rx", "slow")
+    net.send("tx", "rx", "fast")
+    sim.run()
+    assert got == ["fast", "slow"]
+
+
+def test_retract_before_delivery_drops_message():
+    sim, net = make_net(ConstantLatency(5.0))
+    box = net.register("rx")
+    delivery = net.send("tx", "rx", "doomed")
+    delivery.retract()
+    sim.run()
+    assert len(box) == 0
+    assert not delivery.delivered
+
+
+def test_retract_after_delivery_marks_dead_and_queue_drops_it():
+    sim, net = make_net(ConstantLatency(1.0))
+    box = net.register("rx")
+    delivery = net.send("tx", "rx", "doomed")
+    sim.run()
+    assert len(box) == 1
+    delivery.retract()
+    assert len(box) == 0
+
+
+def test_dead_message_not_handed_to_waiter():
+    sim, net = make_net(ConstantLatency(2.0))
+    box = net.register("rx")
+    got = []
+
+    def receiver(env):
+        msg = yield Recv(box, timeout=10.0)
+        got.append(msg)
+
+    Task(sim, "rx", receiver).start()
+    delivery = net.send("tx", "rx", "doomed")
+    sim.schedule(1.0, delivery.retract)
+    sim.run()
+    from repro.sim import TIMED_OUT
+
+    assert got == [TIMED_OUT]
+
+
+def test_predicate_receive_skips_non_matching():
+    sim, net = make_net(ConstantLatency(1.0))
+    box = net.register("rx")
+    got = []
+
+    def receiver(env):
+        msg = yield Recv(box, predicate=lambda m: m.payload == "reply")
+        got.append(msg.payload)
+
+    Task(sim, "rx", receiver).start()
+    net.send("tx", "rx", "noise")
+    net.send("tx", "rx", "reply")
+    sim.run()
+    assert got == ["reply"]
+    assert [m.payload for m in box.peek_all()] == ["noise"]
+
+
+def test_requeue_front_preserves_order():
+    sim, net = make_net(ConstantLatency(0.0))
+    box = net.register("rx")
+    net.send("tx", "rx", "c")
+    sim.run()
+    first = net.send("tx", "rx", "a").message
+    second = net.send("tx", "rx", "b").message
+    sim.run()
+    drained = box.peek_all()
+    assert [m.payload for m in drained] == ["c", "a", "b"]
+    # simulate un-receiving a and b
+    box._queue.clear()
+    box.requeue_front([first, second])
+    assert [m.payload for m in box.peek_all()] == ["a", "b"]
+
+
+def test_requeue_front_wakes_waiting_receiver():
+    sim, net = make_net(ConstantLatency(0.0))
+    box = net.register("rx")
+    got = []
+
+    def receiver(env):
+        msg = yield Recv(box)
+        got.append(msg.payload)
+
+    delivery = net.send("tx", "rx", "redelivered")
+    sim.run()
+    message = box.peek_all()[0]
+    box._queue.clear()
+    Task(sim, "rx", receiver).start()
+    sim.run()
+    assert got == []
+    box.requeue_front([message])
+    sim.run()
+    assert got == ["redelivered"]
+
+
+def test_unknown_endpoint_raises():
+    sim, net = make_net()
+    with pytest.raises(UnknownEndpointError):
+        net.send("tx", "nowhere", "lost")
+
+
+def test_tags_travel_with_message():
+    sim, net = make_net(ConstantLatency(1.0))
+    box = net.register("rx")
+    net.send("tx", "rx", "pkt", tags=frozenset({"a#1", "b#2"}))
+    sim.run()
+    [msg] = box.peek_all()
+    assert msg.tags == frozenset({"a#1", "b#2"})
+    assert net.tag_count_total == 2
+
+
+def test_network_statistics():
+    sim, net = make_net()
+    net.register("rx")
+    net.send("tx", "rx", 1)
+    net.send("tx", "rx", 2)
+    assert net.messages_sent == 2

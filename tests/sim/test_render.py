@@ -1,0 +1,56 @@
+"""Tests for the ASCII timeline renderer."""
+
+from repro.sim import Span, Timeline
+from repro.sim.render import render_timeline, render_utilization
+
+
+def build_timeline():
+    timeline = Timeline()
+    worker = timeline.process("worker")
+    worker.mark(Span.BUSY, 0.0)
+    worker.mark(Span.BLOCKED, 4.0)
+    worker.mark(Span.BUSY, 6.0)
+    worker.close(10.0)
+    worker.reclassify_since(6.0, Span.WASTED, 10.0)
+    verifier = timeline.process("verifier")
+    verifier.mark(Span.BLOCKED, 0.0)
+    verifier.mark(Span.BUSY, 2.0)
+    verifier.close(10.0)
+    return timeline
+
+
+def test_render_contains_rows_and_glyphs():
+    text = render_timeline(build_timeline(), horizon=10.0, width=20)
+    lines = text.splitlines()
+    assert lines[0].startswith("verifier") or lines[0].startswith("worker")
+    body = "\n".join(lines[:2])
+    assert "#" in body and "." in body and "x" in body
+    assert "=busy" in text
+
+
+def test_render_cell_math():
+    text = render_timeline(build_timeline(), horizon=10.0, width=10, processes=["worker"])
+    row = text.splitlines()[0]
+    cells = row.split("|")[1]
+    assert len(cells) == 10
+    # 0-4 busy, 4-6 blocked, 6-10 wasted
+    assert cells[:4] == "####"
+    assert cells[4:6] == ".."
+    assert cells[6:] == "xxxx"
+
+
+def test_render_defaults_horizon_from_spans():
+    text = render_timeline(build_timeline(), width=10)
+    assert "10" in text.splitlines()[-2]
+
+
+def test_render_empty_timeline():
+    assert render_timeline(Timeline()) .endswith("=rolled-back")
+
+
+def test_utilization_summary():
+    text = render_utilization(build_timeline(), horizon=10.0)
+    assert "worker" in text and "verifier" in text
+    worker_line = [l for l in text.splitlines() if l.startswith("worker")][0]
+    assert "busy  40.0%" in worker_line
+    assert "rolled-back  40.0%" in worker_line

@@ -1,0 +1,241 @@
+"""Tests for latency models, random streams, tracer, failure injection, timeline."""
+
+import pytest
+
+from repro.sim import (
+    ConstantLatency,
+    ExponentialLatency,
+    FailureInjector,
+    LinkLatency,
+    NullTracer,
+    RandomStream,
+    RandomStreams,
+    SequenceLatency,
+    Simulator,
+    Span,
+    Timeline,
+    Tracer,
+    UniformLatency,
+    derive_seed,
+)
+
+
+# ---------------------------------------------------------------- latency
+def test_constant_latency():
+    model = ConstantLatency(3.0)
+    assert model.sample("a", "b") == 3.0
+
+
+def test_constant_latency_rejects_negative():
+    with pytest.raises(ValueError):
+        ConstantLatency(-1.0)
+
+
+def test_uniform_latency_within_bounds():
+    streams = RandomStreams(7)
+    model = UniformLatency(1.0, 2.0, streams["lat"])
+    for _ in range(100):
+        assert 1.0 <= model.sample("a", "b") <= 2.0
+
+
+def test_exponential_latency_respects_minimum():
+    streams = RandomStreams(7)
+    model = ExponentialLatency(5.0, streams["lat"], minimum=2.0)
+    for _ in range(100):
+        assert model.sample("a", "b") >= 2.0
+
+
+def test_sequence_latency_cycles():
+    model = SequenceLatency([1.0, 2.0])
+    draws = [model.sample("a", "b") for _ in range(4)]
+    assert draws == [1.0, 2.0, 1.0, 2.0]
+
+
+def test_link_latency_routes_per_link():
+    model = LinkLatency(
+        {("a", "b"): ConstantLatency(1.0)}, default=ConstantLatency(9.0)
+    )
+    assert model.sample("a", "b") == 1.0
+    assert model.sample("b", "a") == 9.0
+    model.set_link("b", "a", ConstantLatency(2.0))
+    assert model.sample("b", "a") == 2.0
+
+
+# ---------------------------------------------------------------- random
+def test_streams_are_deterministic():
+    a = RandomStreams(42)["workload"]
+    b = RandomStreams(42)["workload"]
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_streams_are_independent_by_name():
+    streams = RandomStreams(42)
+    assert derive_seed(42, "x") != derive_seed(42, "y")
+    xs = [streams["x"].random() for _ in range(3)]
+    ys = [streams["y"].random() for _ in range(3)]
+    assert xs != ys
+
+
+def test_stream_instance_cached():
+    streams = RandomStreams(1)
+    assert streams["a"] is streams["a"]
+
+
+def test_bernoulli_bounds():
+    stream = RandomStreams(1)["p"]
+    with pytest.raises(ValueError):
+        stream.bernoulli(1.5)
+    assert stream.bernoulli(1.0) is True
+    assert stream.bernoulli(0.0) is False
+
+
+# ---------------------------------------------------------------- tracer
+def test_tracer_records_and_counts():
+    tracer = Tracer()
+    tracer.record(1.0, "send", "p", dst="q")
+    tracer.record(2.0, "recv", "q", src="p")
+    assert len(tracer) == 2
+    assert tracer.count("send") == 1
+    assert [r.process for r in tracer.by_category("recv")] == ["q"]
+    assert tracer.by_process("p")[0].detail == {"dst": "q"}
+
+
+def test_tracer_category_filter_still_counts():
+    tracer = Tracer(categories={"send"})
+    tracer.record(1.0, "send", "p")
+    tracer.record(1.0, "recv", "q")
+    assert len(tracer) == 1
+    assert tracer.count("recv") == 1
+
+
+def test_tracer_fingerprint_stable_and_sensitive():
+    t1, t2, t3 = Tracer(), Tracer(), Tracer()
+    for t in (t1, t2):
+        t.record(1.0, "send", "p", n=1)
+    t3.record(1.0, "send", "p", n=2)
+    assert t1.fingerprint() == t2.fingerprint()
+    assert t1.fingerprint() != t3.fingerprint()
+
+
+def test_tracer_max_records_truncates():
+    tracer = Tracer(max_records=2)
+    for i in range(5):
+        tracer.record(float(i), "e", "p", i=i)
+    assert len(tracer) == 2
+    assert tracer.truncated
+    assert tracer.records[0].detail == {"i": 3}
+
+
+def test_null_tracer_records_nothing():
+    tracer = NullTracer()
+    tracer.record(1.0, "send", "p")
+    assert len(tracer) == 0
+    assert tracer.count("send") == 1
+
+
+def test_tracer_subscribe():
+    tracer = Tracer()
+    seen = []
+    tracer.subscribe(seen.append)
+    tracer.record(1.0, "send", "p")
+    assert len(seen) == 1
+
+
+# ---------------------------------------------------------------- failure
+def test_crash_at_kills_process():
+    sim = Simulator()
+    injector = FailureInjector(sim)
+    killed = []
+    injector.attach(kill_fn=killed.append)
+    injector.crash_at("victim", 5.0)
+    sim.run()
+    assert killed == ["victim"]
+    assert injector.crash_count() == 1
+    assert injector.crash_count("victim") == 1
+    assert injector.crash_count("other") == 0
+
+
+def test_crash_with_restart():
+    sim = Simulator()
+    injector = FailureInjector(sim)
+    log = []
+    injector.attach(
+        kill_fn=lambda p: log.append(("kill", p, sim.now)),
+        restart_fn=lambda p: log.append(("restart", p, sim.now)),
+    )
+    injector.crash_at("victim", 2.0, restart_after=3.0)
+    sim.run()
+    assert log == [("kill", "victim", 2.0), ("restart", "victim", 5.0)]
+
+
+def test_crash_randomly_schedules_poisson_crashes():
+    sim = Simulator()
+    injector = FailureInjector(sim)
+    injector.attach(kill_fn=lambda p: None)
+    stream = RandomStreams(3)["crash"]
+    n = injector.crash_randomly("victim", rate=1.0, stream=stream, horizon=20.0)
+    assert n > 0
+    sim.run()
+    assert injector.crash_count("victim") == n
+
+
+def test_cancel_all_prevents_crashes():
+    sim = Simulator()
+    injector = FailureInjector(sim)
+    killed = []
+    injector.attach(kill_fn=killed.append)
+    injector.crash_at("victim", 5.0)
+    injector.cancel_all()
+    sim.run()
+    assert killed == []
+
+
+def test_unattached_injector_raises():
+    sim = Simulator()
+    injector = FailureInjector(sim)
+    injector.crash_at("victim", 1.0)
+    with pytest.raises(RuntimeError):
+        sim.run()
+
+
+# ---------------------------------------------------------------- timeline
+def test_timeline_accumulates_busy_and_blocked():
+    timeline = Timeline()
+    tl = timeline.process("p")
+    tl.mark(Span.BUSY, 0.0)
+    tl.mark(Span.BLOCKED, 3.0)
+    tl.mark(Span.BUSY, 5.0)
+    tl.close(6.0)
+    assert tl.total(Span.BUSY) == pytest.approx(4.0)
+    assert tl.total(Span.BLOCKED) == pytest.approx(2.0)
+    assert timeline.utilization("p", 6.0) == pytest.approx(4.0 / 6.0)
+
+
+def test_timeline_mark_same_kind_is_noop():
+    tl = Timeline().process("p")
+    tl.mark(Span.BUSY, 0.0)
+    tl.mark(Span.BUSY, 2.0)
+    tl.close(4.0)
+    assert len(tl.spans) == 1
+    assert tl.total(Span.BUSY) == pytest.approx(4.0)
+
+
+def test_reclassify_since_marks_wasted_work():
+    tl = Timeline().process("p")
+    tl.mark(Span.BUSY, 0.0)
+    tl.mark(Span.BLOCKED, 4.0)
+    tl.mark(Span.BUSY, 6.0)
+    wasted = tl.reclassify_since(2.0, Span.WASTED, 8.0)
+    assert wasted == pytest.approx(6.0)
+    assert tl.total(Span.WASTED) == pytest.approx(6.0)
+    assert tl.total(Span.BUSY) == pytest.approx(2.0)
+    assert tl.total(Span.BLOCKED) == pytest.approx(0.0)
+
+
+def test_timeline_aggregate():
+    timeline = Timeline()
+    timeline.process("a").mark(Span.BUSY, 0.0)
+    timeline.process("b").mark(Span.BUSY, 1.0)
+    timeline.close_all(5.0)
+    assert timeline.aggregate(Span.BUSY) == pytest.approx(5.0 + 4.0)
+    assert timeline.names() == ["a", "b"]
