@@ -8,16 +8,25 @@ fan-out of a speculative broadcast.
 """
 
 from repro.runtime import HopeSystem
-from repro.bench import emit, format_table, sweep
+from repro.bench import emit, emit_json, format_table, sweep
 
 DEPTHS = [1, 2, 4, 8, 16, 32]
 FANOUTS = [1, 2, 4, 8, 16, 32]
 
+#: Pre-speculation work per process: each body performs this many logged
+#: effects before it can become speculative.  Full-replay rollback pays
+#: for the whole prefix again on every cascade member; checkpointed
+#: partial replay (``fast_rollback=True``) skips it, which is exactly the
+#: asymptotic difference this sweep exposes.
+PREFIX = 40
 
-def _run_chain(depth: int) -> HopeSystem:
-    system = HopeSystem()
+
+def _run_chain(depth: int, fast_rollback: bool = False, prefix: int = PREFIX) -> HopeSystem:
+    system = HopeSystem(fast_rollback=fast_rollback)
 
     def root(p):
+        for _ in range(prefix):
+            yield p.now()                    # definite pre-guess history
         x = yield p.aid_init("x")
         yield p.send("judge", x)
         if (yield p.guess(x)):
@@ -25,6 +34,8 @@ def _run_chain(depth: int) -> HopeSystem:
         yield p.compute(1.0)
 
     def relay(p, i):
+        for _ in range(prefix):
+            yield p.now()                    # definite pre-recv history
         msg = yield p.recv()
         yield p.compute(1.0)
         if i + 1 < depth:
@@ -72,13 +83,16 @@ def _run_fanout(fanout: int) -> HopeSystem:
 
 
 def chain_metrics(depth: int) -> dict:
-    system = _run_chain(depth)
-    stats = system.stats()
+    base = _run_chain(depth).stats()
+    fast = _run_chain(depth, fast_rollback=True).stats()
+    assert fast["rollbacks"] == base["rollbacks"]
     return {
-        "rollbacks": stats["rollbacks"],
-        "replayed_effects": stats["replayed_effects"],
-        "wasted_time": stats["wasted_time"],
-        "sim_events": stats["sim_events"],
+        "rollbacks": base["rollbacks"],
+        "replayed_effects": base["replayed_effects"],
+        "fast_replayed": fast["replayed_effects"],
+        "fast_skipped": fast["replay_skipped_entries"],
+        "wasted_time": base["wasted_time"],
+        "sim_events": base["sim_events"],
     }
 
 
@@ -95,7 +109,14 @@ def fanout_metrics(fanout: int) -> dict:
 
 def test_rollback_cascade_depth(benchmark):
     result = sweep("chain depth", DEPTHS, chain_metrics)
-    metrics = ["rollbacks", "replayed_effects", "wasted_time", "sim_events"]
+    metrics = [
+        "rollbacks",
+        "replayed_effects",
+        "fast_replayed",
+        "fast_skipped",
+        "wasted_time",
+        "sim_events",
+    ]
     emit(
         "rollback_cascade_depth",
         format_table(
@@ -104,12 +125,30 @@ def test_rollback_cascade_depth(benchmark):
             result.rows(metrics),
         ),
     )
+    emit_json(
+        "BENCH_1",
+        "rollback_cascade",
+        {
+            "prefix_effects_per_process": PREFIX,
+            "points": [
+                dict(zip(["depth"] + metrics, row)) for row in result.rows(metrics)
+            ],
+        },
+    )
     rollbacks = result.column("rollbacks")
     # every relay that received the speculative message must roll back
     assert rollbacks == [d + 1 for d in DEPTHS]
     # cascade cost scales linearly-ish with depth, not worse
     events = result.column("sim_events")
     assert events[-1] < events[0] * (DEPTHS[-1] / DEPTHS[0]) * 3
+    # checkpointed partial replay: no cascade member rewinds to log entry
+    # 0 — the pre-guess prefix is skipped, so at depth 32 the replayed
+    # entry count collapses versus full replay.
+    base_replayed = result.column("replayed_effects")
+    fast_replayed = result.column("fast_replayed")
+    fast_skipped = result.column("fast_skipped")
+    assert fast_replayed[-1] < base_replayed[-1]
+    assert fast_skipped[-1] >= PREFIX * DEPTHS[-1]
     benchmark(lambda: _run_chain(16))
 
 

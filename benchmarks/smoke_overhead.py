@@ -1,0 +1,82 @@
+"""CI smoke: fail if HOPE-vs-bare wall overhead regresses past the budget.
+
+Two checks: the CASCADE partial-replay property (deterministic — fast
+rollback must replay fewer entries than full replay at depth 32), then
+the TRACK wall-clock budget.  The TRACK half runs the ping-pong point at
+the message count stored in
+``overhead_threshold.json`` and compares the measured
+``hope_wall / bare_wall`` ratio against ``max_overhead_ratio``.  Wall
+times are min-of-``repeats`` (noise-robust); the whole measurement is
+retried up to ``attempts`` times and the best ratio is judged, so a
+single contended CI moment cannot fail the build — a real regression
+fails every attempt.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_overhead.py
+"""
+
+import importlib.util
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def _load_bench(name: str):
+    path = os.path.join(HERE, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _check_cascade() -> int:
+    """Deterministic half of the smoke: partial replay must stay partial.
+
+    At depth 32 the full-replay cascade re-feeds every process's entire
+    pre-guess prefix; ``fast_rollback=True`` must replay strictly fewer
+    entries (in fact zero — rollback never rewinds to log index 0).
+    """
+    cascade = _load_bench("bench_rollback_cascade")
+    point = cascade.chain_metrics(32)
+    print(
+        f"cascade depth 32: full replay {point['replayed_effects']} entries, "
+        f"fast {point['fast_replayed']} (skipped {point['fast_skipped']})"
+    )
+    if point["fast_replayed"] >= point["replayed_effects"]:
+        print("FAIL: checkpointed replay no longer skips the logged prefix")
+        return 1
+    return 0
+
+
+def main() -> int:
+    with open(os.path.join(HERE, "overhead_threshold.json"), encoding="utf-8") as fh:
+        budget = json.load(fh)
+    if _check_cascade():
+        return 1
+    bench = _load_bench("bench_tracking_overhead")
+    n = budget["messages"]
+    limit = budget["max_overhead_ratio"]
+    best = None
+    for attempt in range(budget.get("attempts", 3)):
+        point = bench.run_point(n, repeats=budget.get("repeats", 5))
+        ratio = point["overhead_ratio"]
+        best = ratio if best is None else min(best, ratio)
+        print(
+            f"attempt {attempt + 1}: hope {point['hope_wall_ms']:.2f} ms / "
+            f"bare {point['bare_wall_ms']:.2f} ms = {ratio:.2f} "
+            f"(budget {limit})"
+        )
+        if best <= limit:
+            break
+    if best is None or best > limit:
+        print(f"FAIL: overhead ratio {best:.2f} exceeds budget {limit}")
+        return 1
+    print(f"OK: overhead ratio {best:.2f} within budget {limit}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

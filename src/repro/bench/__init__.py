@@ -1,6 +1,6 @@
 """Benchmark support: workload generators, sweeps, tables, statistics."""
 
-from .reporting import emit, format_table, results_dir
+from .reporting import emit, emit_json, format_table, repo_root, results_dir
 from .stats import find_crossover, mean, percentile, speedup
 from .sweeps import SweepResult, sweep
 from .workloads import (
@@ -16,6 +16,8 @@ __all__ = [
     "SweepResult",
     "format_table",
     "emit",
+    "emit_json",
+    "repo_root",
     "results_dir",
     "mean",
     "speedup",

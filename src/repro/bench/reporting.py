@@ -7,8 +7,9 @@ EXPERIMENTS.md can quote exact numbers.
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Sequence
+from typing import Any, Sequence
 
 
 def format_value(value) -> str:
@@ -55,4 +56,33 @@ def emit(name: str, text: str, echo: bool = True) -> str:
     path = os.path.join(results_dir(), f"{name}.txt")
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(text + "\n")
+    return path
+
+
+def repo_root() -> str:
+    """The repository root (parent of ``benchmarks/``)."""
+    return os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(__file__))))
+
+
+def emit_json(name: str, section: str, payload: Any) -> str:
+    """Merge ``payload`` under key ``section`` into ``<repo_root>/<name>.json``.
+
+    Machine-readable companion to :func:`emit`: several experiments can
+    contribute sections to one document (e.g. ``BENCH_1.json`` collects
+    the tracking-overhead and rollback-cascade sweeps) without clobbering
+    each other.  The file is rewritten atomically-enough for a bench run
+    (read-modify-write; a corrupt or missing file starts fresh).
+    """
+    path = os.path.join(repo_root(), f"{name}.json")
+    document: dict[str, Any] = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                document = json.load(fh)
+        except (OSError, ValueError):
+            document = {}
+    document[section] = payload
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
     return path

@@ -7,6 +7,7 @@ its events into task restarts and message retraction.
 """
 
 from .aid import AidStatus, AssumptionId
+from .depset import DepSet, DepSetInterner
 from .errors import (
     FinalizePreconditionError,
     HopeError,
@@ -33,6 +34,8 @@ __all__ = [
     "Machine",
     "AssumptionId",
     "AidStatus",
+    "DepSet",
+    "DepSetInterner",
     "Interval",
     "IntervalState",
     "ProcessRecord",

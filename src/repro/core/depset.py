@@ -1,0 +1,237 @@
+"""Hash-consed assumption-dependency sets (the IDO fast path).
+
+Every speculative interval carries IDO, the set of assumption identifiers
+its fate rides on (Eq 3).  The naive transcription copies the parent's
+set at every guess and re-freezes it for every message tag, which makes a
+depth-*n* guess chain cost O(n²) set copies and every send O(|IDO|).
+
+:class:`DepSet` replaces those copies with immutable, *interned* sets:
+
+* one canonical object per distinct member set (per machine), so
+  structural equality is pointer equality and re-derived sets are free;
+* cached unary/binary operations — ``add``, ``discard``, ``union`` — so
+  the Eq 8/12 rewrites that recur across a DOM sweep hit a memo instead
+  of rebuilding frozensets;
+* a cached message-tag key view (:attr:`DepSet.tag_keys`), so tagging a
+  send is O(1) after the first send from a given dependency state.
+
+Interning is scoped to a :class:`DepSetInterner` owned by one
+:class:`~repro.core.machine.Machine`; AIDs and DepSets live exactly as
+long as their machine, which is what makes the ``id()``-keyed operation
+memos sound (CPython ids are stable while an object is strongly held,
+and the interner's canonical table holds every DepSet it ever made).
+
+Semantics are untouched: a DepSet behaves exactly like the frozenset of
+its members for membership, iteration, comparison, and equality — the
+Lemma 5.1 / Theorem 5.1 invariant checks run against DepSets unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .aid import AssumptionId
+
+
+class DepSet:
+    """An immutable, interned set of :class:`AssumptionId`.
+
+    Instances are only created by a :class:`DepSetInterner`; two DepSets
+    from the same interner are equal iff they are the same object.
+    Comparison against plain ``set``/``frozenset`` falls back to member
+    equality so existing tests and user code keep reading naturally.
+    """
+
+    __slots__ = ("members", "_interner", "_tag_keys")
+
+    def __init__(self, members: frozenset, interner: "DepSetInterner") -> None:
+        self.members = members
+        self._interner = interner
+        self._tag_keys: Optional[frozenset] = None
+
+    # ------------------------------------------------------------------
+    # set protocol
+    # ------------------------------------------------------------------
+    def __contains__(self, aid: object) -> bool:
+        return aid in self.members
+
+    def __iter__(self) -> Iterator["AssumptionId"]:
+        return iter(self.members)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __bool__(self) -> bool:
+        return bool(self.members)
+
+    def __hash__(self) -> int:
+        return hash(self.members)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DepSet):
+            if other._interner is self._interner:
+                return other is self
+            return self.members == other.members
+        if isinstance(other, (set, frozenset)):
+            return self.members == other
+        return NotImplemented
+
+    def __le__(self, other) -> bool:
+        if isinstance(other, DepSet):
+            return self is other or self.members <= other.members
+        return self.members <= other
+
+    def __lt__(self, other) -> bool:
+        if isinstance(other, DepSet):
+            return self is not other and self.members < other.members
+        return self.members < other
+
+    def __ge__(self, other) -> bool:
+        if isinstance(other, DepSet):
+            return self is other or self.members >= other.members
+        return self.members >= other
+
+    def __gt__(self, other) -> bool:
+        if isinstance(other, DepSet):
+            return self is not other and self.members > other.members
+        return self.members > other
+
+    def __or__(self, other) -> "DepSet":
+        if isinstance(other, DepSet):
+            return self._interner.union(self, other)
+        return self._interner.intern(self.members | frozenset(other))
+
+    def __sub__(self, other) -> "DepSet":
+        return self._interner.intern(self.members - frozenset(other))
+
+    def __and__(self, other) -> "DepSet":
+        if isinstance(other, DepSet):
+            other = other.members
+        return self._interner.intern(self.members & frozenset(other))
+
+    def isdisjoint(self, other: Iterable) -> bool:
+        return self.members.isdisjoint(other)
+
+    # ------------------------------------------------------------------
+    # interned views
+    # ------------------------------------------------------------------
+    @property
+    def tag_keys(self) -> frozenset:
+        """The message-tag view: the members' string keys, computed once.
+
+        Sends tag messages with the sender's current dependencies; with
+        interning, every send from the same dependency state reuses this
+        one frozenset instead of re-deriving it per message.
+        """
+        keys = self._tag_keys
+        if keys is None:
+            keys = self._tag_keys = frozenset(a.key for a in self.members)
+        return keys
+
+    def __repr__(self) -> str:
+        inner = ",".join(sorted(a.key for a in self.members)) or "∅"
+        return f"DepSet{{{inner}}}"
+
+
+class DepSetInterner:
+    """Hash-consing table plus operation memos for one machine's DepSets.
+
+    ``stats`` is the owning machine's counter dict (shared by reference);
+    the interner bumps ``depset_hits`` on every memoized operation and
+    ``depset_misses`` when a genuinely new set has to be built, so the
+    benchmark layer can report interning effectiveness without a second
+    bookkeeping pass.
+    """
+
+    def __init__(self, stats: Optional[dict] = None) -> None:
+        if stats is None:
+            stats = {}
+        stats.setdefault("depset_hits", 0)
+        stats.setdefault("depset_misses", 0)
+        self.stats = stats
+        self._table: dict[frozenset, DepSet] = {}
+        #: (id(base), id(aid)) -> base ∪ {aid}
+        self._add_memo: dict[tuple[int, int], DepSet] = {}
+        #: (id(base), id(aid)) -> base ∖ {aid}
+        self._discard_memo: dict[tuple[int, int], DepSet] = {}
+        #: (id(a), id(b)) -> a ∪ b
+        self._union_memo: dict[tuple[int, int], DepSet] = {}
+        self.empty = self.intern(frozenset())
+
+    def __len__(self) -> int:
+        """Number of distinct dependency sets ever interned."""
+        return len(self._table)
+
+    # ------------------------------------------------------------------
+    # canonicalisation
+    # ------------------------------------------------------------------
+    def intern(self, members: Iterable) -> DepSet:
+        """Return the canonical DepSet for ``members``."""
+        if isinstance(members, DepSet):
+            return members
+        if not isinstance(members, frozenset):
+            members = frozenset(members)
+        ds = self._table.get(members)
+        if ds is None:
+            ds = DepSet(members, self)
+            self._table[members] = ds
+            self.stats["depset_misses"] += 1
+        else:
+            self.stats["depset_hits"] += 1
+        return ds
+
+    # ------------------------------------------------------------------
+    # memoized operations (the machine's hot rewrites)
+    # ------------------------------------------------------------------
+    def add(self, base: DepSet, aid: "AssumptionId") -> DepSet:
+        """``base ∪ {aid}`` — the Eq 3 inheritance step of a guess."""
+        if aid in base.members:
+            self.stats["depset_hits"] += 1
+            return base
+        key = (id(base), id(aid))
+        ds = self._add_memo.get(key)
+        if ds is None:
+            ds = self.intern(base.members | {aid})
+            self._add_memo[key] = ds
+        else:
+            self.stats["depset_hits"] += 1
+        return ds
+
+    def extend(self, base: DepSet, aids: Iterable["AssumptionId"]) -> DepSet:
+        """Fold :meth:`add` over ``aids`` (implicit guesses from a tag)."""
+        ds = base
+        for aid in aids:
+            ds = self.add(ds, aid)
+        return ds
+
+    def discard(self, base: DepSet, aid: "AssumptionId") -> DepSet:
+        """``base ∖ {aid}`` — the Eq 8/12 release of a resolved AID."""
+        if aid not in base.members:
+            self.stats["depset_hits"] += 1
+            return base
+        key = (id(base), id(aid))
+        ds = self._discard_memo.get(key)
+        if ds is None:
+            ds = self.intern(base.members - {aid})
+            self._discard_memo[key] = ds
+        else:
+            self.stats["depset_hits"] += 1
+        return ds
+
+    def union(self, a: DepSet, b: DepSet) -> DepSet:
+        """``a ∪ b`` — the Eq 12 dependency merge of a speculative affirm."""
+        if a is b or not b.members:
+            self.stats["depset_hits"] += 1
+            return a
+        if not a.members:
+            self.stats["depset_hits"] += 1
+            return b
+        key = (id(a), id(b))
+        ds = self._union_memo.get(key)
+        if ds is None:
+            ds = self.intern(a.members | b.members)
+            self._union_memo[key] = ds
+        else:
+            self.stats["depset_hits"] += 1
+        return ds

@@ -68,7 +68,12 @@ class Interval:
         self.serial = serial if serial is not None else next(_interval_serial)
         self.pid = pid                      # A.PID (Eq 2)
         self.ps = ps                        # A.PS  (Eq 1)
-        self.ido: set["AssumptionId"] = set()   # A.IDO (Eq 3)
+        #: A.IDO (Eq 3).  The machine rebinds this to an interned,
+        #: immutable :class:`repro.core.depset.DepSet` at creation; the
+        #: Eq 8/12 updates replace the binding rather than mutating, so a
+        #: held reference is always a consistent snapshot.  The plain-set
+        #: default only exists for intervals built outside a machine.
+        self.ido = set()                        # A.IDO (Eq 3)
         self.ihd: set["AssumptionId"] = set()   # A.IHD (Eq 16)
         self.aid = aid
         self.parent = parent

@@ -46,6 +46,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, Optional
 
 from .aid import AidStatus, AssumptionId
+from .depset import DepSet, DepSetInterner
 from .errors import (
     FinalizePreconditionError,
     IntervalStateError,
@@ -75,6 +76,11 @@ def _interval_order(interval: Interval) -> tuple:
     return (interval.pid, interval.start_index, interval.serial)
 
 
+#: Resolution of an empty tag set: alive, no dependencies.  Shared so the
+#: per-delivery fast path allocates nothing.
+_LIVE_NO_DEPS: tuple[bool, frozenset] = (True, frozenset())
+
+
 class Machine:
     """The abstract machine of §4, with the five primitives of §3.
 
@@ -102,7 +108,18 @@ class Machine:
             "finalizes": 0,
             "rollbacks": 0,
             "intervals_discarded": 0,
+            "resolve_cache_hits": 0,
+            "resolve_cache_misses": 0,
         }
+        #: Hash-consed IDO sets: one canonical DepSet per distinct member
+        #: set, with memoized add/discard/union (see :mod:`.depset`).
+        self.depsets = DepSetInterner(stats=self.stats)
+        #: Resolution epoch: bumped by every affirm, deny, finalize and
+        #: rollback.  The resolve_tags caches are only valid within one
+        #: epoch — any dependency-landscape change flushes them.
+        self.resolution_epoch = 0
+        self._resolve_cache: dict[frozenset, tuple[bool, frozenset]] = {}
+        self._resolve_key_cache: dict[frozenset, tuple[bool, frozenset]] = {}
 
     # ------------------------------------------------------------------
     # registration
@@ -137,6 +154,23 @@ class Machine:
 
     def subscribe(self, listener: Callable[[MachineEvent], None]) -> None:
         self._listeners.append(listener)
+
+    def _bump_resolution_epoch(self) -> None:
+        """Invalidate the tag-resolution caches.
+
+        Called by every state change that can alter what a tag means at
+        delivery time: affirms (both modes — a speculative affirm changes
+        the affirmer graph), denies, finalizes (parked denies become
+        definite, speculative affirms become unrevocable) and rollbacks
+        (a dead affirmer releases its AID).  Guesses do not bump: a
+        pending, unaffirmed tag resolves to itself regardless of how many
+        intervals depend on it.
+        """
+        self.resolution_epoch += 1
+        if self._resolve_cache:
+            self._resolve_cache = {}
+        if self._resolve_key_cache:
+            self._resolve_key_cache = {}
 
     def _emit(self, event: MachineEvent) -> None:
         for listener in self._listeners:
@@ -196,7 +230,7 @@ class Machine:
         which is the runtime's job).
         """
         record = self.process(pid)
-        current_deps = record.current.ido if record.current is not None else frozenset()
+        current_deps = record.current.ido if record.current is not None else self.depsets.empty
         fresh = [a for a in aids if a.pending and a not in current_deps]
         if not fresh:
             return None
@@ -222,8 +256,8 @@ class Machine:
             parent=record.current,
             serial=self._interval_serials,
         )
-        inherited = set(record.current.ido) if record.current is not None else set()
-        interval.ido = inherited | set(new_aids)        # Eq 3
+        inherited = record.current.ido if record.current is not None else self.depsets.empty
+        interval.ido = self.depsets.extend(inherited, new_aids)   # Eq 3
         # Eq 4, generalized to every member of A.IDO: Lemma 5.1 demands
         # X ∈ A.IDO ⟺ A ∈ X.DOM, and Theorem 5.1's proof relies on
         # inherited dependencies being in DOM (the definite deny of an
@@ -252,6 +286,7 @@ class Machine:
         if not self._check_resolution(aid, wanted=AidStatus.AFFIRMED, pid=pid, via=via):
             record.append("affirm_noop", aid=aid.key, via=via)
             return
+        self._bump_resolution_epoch()
         current = record.current
         if current is None:
             self._affirm_definite(record, aid, via)
@@ -272,7 +307,7 @@ class Machine:
         for dependent in sorted(aid.dom, key=_interval_order):   # Eq 7: ∀B ∈ X.DOM
             if not dependent.speculative:
                 continue
-            dependent.ido.discard(aid)                           # Eq 8
+            dependent.ido = self.depsets.discard(dependent.ido, aid)   # Eq 8
             aid.dom.discard(dependent)                           # Eq 9
             self.processes[dependent.pid].append(
                 "ido_update", aid=aid.key, interval=dependent.label
@@ -293,13 +328,17 @@ class Machine:
         current.spec_affirms.append(aid)
         record.append("affirm", aid=aid.key, mode="speculative", via=via)
         dom_snapshot = sorted(aid.dom, key=_interval_order)
-        affirmer_ido = set(current.ido)
+        # current.ido is an immutable interned DepSet, so it doubles as
+        # the loop snapshot (a dependent's Eq 12 rewrite cannot alias it).
+        affirmer_ido = current.ido
         for dependent in dom_snapshot:                           # Eq 11: ∀B ∈ X.DOM
             if not dependent.speculative:
                 continue
             for upstream in sorted(affirmer_ido, key=_aid_order):
                 upstream.dom.add(dependent)                      # Eq 10
-            dependent.ido = (dependent.ido | affirmer_ido) - {aid}   # Eq 12
+            dependent.ido = self.depsets.discard(                # Eq 12
+                self.depsets.union(dependent.ido, affirmer_ido), aid
+            )
             aid.dom.discard(dependent)                           # Eq 14
             self.processes[dependent.pid].append(
                 "ido_update", aid=aid.key, interval=dependent.label
@@ -319,6 +358,7 @@ class Machine:
         if not self._check_resolution(aid, wanted=AidStatus.DENIED, pid=pid, via=via):
             record.append("deny_noop", aid=aid.key, via=via)
             return
+        self._bump_resolution_epoch()
         current = record.current
         definite = current is None or aid in current.ido         # Eq 15 guard
         if definite:
@@ -410,6 +450,7 @@ class Machine:
         if not interval.speculative:
             return
         self.stats["finalizes"] += 1
+        self._bump_resolution_epoch()
         interval.state = IntervalState.DEFINITE
         record = self.processes[interval.pid]
         record.speculative.discard(interval)                     # Eq 21
@@ -470,6 +511,7 @@ class Machine:
             )
         if interval.rolled_back:
             return
+        self._bump_resolution_epoch()
         record = self.processes[interval.pid]
         discarded = [
             iv
@@ -643,6 +685,7 @@ class Machine:
         outputs uncommitted).
         """
         record = self.process(pid)
+        self._bump_resolution_epoch()
         discarded = [iv for iv in record.intervals if iv.speculative]
         for dead in discarded:
             dead.state = IntervalState.ROLLED_BACK
@@ -679,18 +722,30 @@ class Machine:
           delivery-side mirror of the Eq 12 IDO merge, and what makes
           Theorem 6.3 hold across in-flight messages;
         * an untouched **pending** tag stands for itself.
+
+        Results are memoized per distinct tag set; the cache lives for
+        one resolution epoch (any affirm/deny/finalize/rollback flushes
+        it), so repeated deliveries between dependency changes — the
+        common case in a message-heavy workload — skip the graph walk.
         """
-        live = True
+        tagset = frozenset(tags)
+        cached = self._resolve_cache.get(tagset)
+        if cached is not None:
+            self.stats["resolve_cache_hits"] += 1
+            return cached
+        self.stats["resolve_cache_misses"] += 1
         deps: set[AssumptionId] = set()
-        stack = list(tags)
+        stack = list(tagset)
         seen: set[AssumptionId] = set()
+        result: tuple[bool, frozenset[AssumptionId]] = (True, frozenset())
         while stack:
             aid = stack.pop()
             if aid in seen:
                 continue
             seen.add(aid)
             if aid.denied:
-                return (False, frozenset())
+                result = (False, frozenset())
+                break
             if aid.affirmed:
                 continue
             affirmer = aid.speculative_affirmer
@@ -698,17 +753,44 @@ class Machine:
                 stack.extend(affirmer.ido)
             else:
                 deps.add(aid)
-        return (live, frozenset(deps))
+        else:
+            result = (True, frozenset(deps))
+        self._resolve_cache[tagset] = result
+        return result
+
+    def resolve_tag_keys(
+        self, tag_keys: frozenset
+    ) -> tuple[bool, frozenset[AssumptionId]]:
+        """:meth:`resolve_tags`, keyed directly on a message's string-key
+        tag set.  The delivery hot path hits this cache without even
+        looking the AIDs up; it shares the epoch rule with
+        :meth:`resolve_tags`."""
+        if not tag_keys:
+            # Untagged messages never consult the resolution graph at all;
+            # skip the cache (and its hit counters) entirely.
+            return _LIVE_NO_DEPS
+        cached = self._resolve_key_cache.get(tag_keys)
+        if cached is not None:
+            self.stats["resolve_cache_hits"] += 1
+            return cached
+        result = self.resolve_tags(self.aid(key) for key in tag_keys)
+        self._resolve_key_cache[tag_keys] = result
+        return result
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
-    def dependencies_of(self, pid: str) -> frozenset[AssumptionId]:
-        """The AID set the process currently depends on (its message tag)."""
+    def dependencies_of(self, pid: str) -> DepSet:
+        """The AID set the process currently depends on (its message tag).
+
+        Returns the interval's interned :class:`DepSet` directly — it is
+        immutable, so no defensive re-freeze is needed, and its cached
+        :attr:`~DepSet.tag_keys` view makes per-send tagging O(1).
+        """
         record = self.process(pid)
         if record.current is None:
-            return frozenset()
-        return frozenset(record.current.ido)
+            return self.depsets.empty
+        return record.current.ido
 
     def is_definite(self, pid: str) -> bool:
         return self.process(pid).is_definite

@@ -117,6 +117,8 @@ class HopeProcess:
         """Receive the next message; resumes with a :class:`ReceivedMessage`
         (or :data:`repro.sim.TIMED_OUT`).  Tagged messages first apply the
         implicit guesses of §3."""
+        if timeout is None and predicate is None:
+            return _RECV_ANY  # immutable: the common case shares one object
         return RecvEffect(timeout, predicate)
 
     def reply(self, request: ReceivedMessage, body: Any) -> SendEffect:
@@ -135,11 +137,11 @@ class HopeProcess:
 
     def now(self) -> NowEffect:
         """Read the virtual clock (replay-safe)."""
-        return NowEffect()
+        return _NOW
 
     def random(self) -> RandomEffect:
         """Uniform float in [0,1) from this process's stream (replay-safe)."""
-        return RandomEffect()
+        return _RANDOM
 
     def emit(self, value: Any) -> EmitEffect:
         """Produce an output value under the output-commit discipline:
@@ -154,6 +156,14 @@ class HopeProcess:
 
     def __repr__(self) -> str:
         return f"HopeProcess({self.name!r})"
+
+
+#: Shared instances for the stateless effects (they are immutable and
+#: handlers only read them, so one object serves every yield — the
+#: allocation per message round-trip was measurable in TRACK).
+_RECV_ANY = RecvEffect(None, None)
+_NOW = NowEffect()
+_RANDOM = RandomEffect()
 
 
 def call(p: HopeProcess, dst: str, body: Any, corr: int):

@@ -66,7 +66,7 @@ from .effects import (
     SpawnEffect,
 )
 from .messages import ReceivedMessage
-from .replay import Checkpoint, EffectLog
+from .replay import Checkpoint, EffectLog, ShadowCheckpoint
 
 
 class SpeculativeSpawnError(HopeError):
@@ -109,6 +109,9 @@ class ProcessRuntime:
         self.args = args
         self.facade = HopeProcess(name)
         self.log = EffectLog()
+        #: Replica incarnation parked at the newest checkpoint (only when
+        #: the system runs with fast_rollback=True).
+        self.shadow: Optional[ShadowCheckpoint] = None
         self.task: Optional[Task] = None
         self.incarnation = 0
         self.restarts = 0
@@ -116,6 +119,10 @@ class ProcessRuntime:
         self.result: Any = None
         self.crashed = False
         self.outputs: list[OutputRecord] = []
+        #: Cached timeline track and mailbox (assigned at spawn; hot-path
+        #: marks and recv registrations skip the per-event name lookups).
+        self.track = None
+        self.mailbox = None
 
     def body(self, env) -> Generator:
         """Adapter: the sim Task calls ``fn(env)``; HOPE bodies take the facade."""
@@ -180,6 +187,17 @@ class HopeSystem:
         Forward the machine's strict resolution-conflict mode.  The
         runtime default is lenient because rollback legitimately
         re-executes resolution statements (see Figure 2's WorryWart).
+    fast_rollback:
+        Keep a :class:`ShadowCheckpoint` replica per process, advanced
+        incrementally at guess boundaries, so a rollback restores the
+        newest checkpoint at or before its truncation point instead of
+        replaying the effect log from entry 0.  Off by default: it
+        strengthens the body contract from "deterministic in effect
+        results" to "no out-of-band side effects at all", because the
+        replica re-executes the pre-checkpoint prefix eagerly (a body
+        that appends to a closure list would observe the extra pass).
+        All benchmarks and every paper program satisfy the stronger
+        contract; see docs/PERFORMANCE.md.
     """
 
     def __init__(
@@ -193,6 +211,7 @@ class HopeSystem:
         control_latency: float = 1.0,
         speculation: bool = True,
         shuffle_ties: bool = False,
+        fast_rollback: bool = False,
     ) -> None:
         self.streams = RandomStreams(seed)
         if shuffle_ties:
@@ -209,6 +228,9 @@ class HopeSystem:
         self.machine = Machine(strict=strict_aids)
         self.machine.subscribe(self._on_machine_event)
         self.tracer = trace if trace is not None else Tracer(categories=())
+        #: Hot-path guard: with a disabled tracer every per-effect record
+        #: call is pure overhead, so the handlers skip them wholesale.
+        self._tracing = not getattr(self.tracer, "_disabled", False)
         self.timeline = Timeline()
         self.failures = FailureInjector(self.sim)
         self.failures.attach(kill_fn=self.crash_process)
@@ -219,6 +241,7 @@ class HopeSystem:
         #: are resolved only by the guessing process itself would
         #: deadlock in this mode; that is inherent, not a bug.
         self.speculation = speculation
+        self.fast_rollback = fast_rollback
         self._aid_waiters: dict[str, list] = {}
         self.procs: dict[str, ProcessRuntime] = {}
         self._handles: dict[str, AidHandle] = {}
@@ -239,8 +262,10 @@ class HopeSystem:
         if name in self.procs:
             raise HopeError(f"process {name!r} already exists")
         proc = ProcessRuntime(name, fn, args)
+        proc.track = self.timeline.process(name)
         self.procs[name] = proc
         self.network.register(name)
+        proc.mailbox = self.network.mailbox(name)
         self.machine.create_process(name)
         self._start_task(proc, delay=0.0)
         self.tracer.record(self.sim.now, "spawn", name)
@@ -284,6 +309,10 @@ class HopeSystem:
         self.machine.forget_process(name)
         self.network.mailbox(name).purge()
         proc.log.truncate(0)
+        # The shadow replica models volatile memory too: a crash loses it.
+        if proc.shadow is not None:
+            proc.shadow.invalidate()
+            proc.shadow = None
         # Outputs from forgotten intervals are permanently uncommitted
         # (their intervals are now rolled back); drop them from the buffer.
         proc.outputs = [r for r in proc.outputs if r.committed]
@@ -319,6 +348,12 @@ class HopeSystem:
             "sim_events": self.sim.events_processed,
             "restarts": sum(p.restarts for p in self.procs.values()),
             "replayed_effects": sum(p.log.replayed_entries_total for p in self.procs.values()),
+            "replay_skipped_entries": sum(
+                p.log.skipped_entries_total for p in self.procs.values()
+            ),
+            "shadow_feeds": sum(
+                p.log.shadow_feeds_total for p in self.procs.values()
+            ),
             "wasted_time": self.timeline.aggregate(Span.WASTED),
             "busy_time": self.timeline.aggregate(Span.BUSY),
         }
@@ -326,6 +361,61 @@ class HopeSystem:
     def pending_aids(self) -> list[AssumptionId]:
         """AIDs never affirmed or denied — a smell for stuck programs."""
         return [a for a in self.machine.aids.values() if a.pending]
+
+    # ------------------------------------------------------------------
+    # shadow checkpoints (fast rollback)
+    # ------------------------------------------------------------------
+    def _note_checkpoint(self, proc: ProcessRuntime, checkpoint: Checkpoint) -> None:
+        """Advance the process's shadow replica to the new guess boundary.
+
+        Incremental: only the log delta since the previous checkpoint is
+        fed.  A shadow that has diverged (effect-impure body) stays
+        invalid as a tombstone so we never pay for it again; one that was
+        consumed by a promotion is rebuilt from scratch here.
+        """
+        if not self.fast_rollback:
+            return
+        shadow = proc.shadow
+        if shadow is None:
+            shadow = proc.shadow = ShadowCheckpoint(proc.body(None))
+        if shadow.valid:
+            shadow.advance(proc.log, checkpoint.log_index)
+
+    def _try_promote_shadow(self, proc: ProcessRuntime, log_index: int, delay: float) -> bool:
+        """Restore a rollback checkpoint by promoting the shadow replica.
+
+        Returns False (leaving a full replay to the caller) when there is
+        no shadow, it diverged, or it sits past the truncation point —
+        the shadow tracks the *newest* checkpoint, so a rollback to an
+        older one falls back to replay from entry 0.
+        """
+        shadow = proc.shadow
+        if shadow is None or not shadow.valid or shadow.pos > log_index:
+            if shadow is not None and shadow.pos > log_index:
+                shadow.invalidate()
+                proc.shadow = None
+            return False
+        if not shadow.advance(proc.log, log_index):   # catch up the delta
+            proc.shadow = None
+            return False
+        proc.shadow = None
+        effect = shadow.pending_effect
+        proc.log.begin_replay_at(log_index)
+        task = Task(
+            self.sim,
+            proc.name,
+            proc.body,
+            handler=self._handle_effect,
+            on_exit=self._on_task_exit,
+            context=proc,
+        )
+        proc.task = task
+        task.start_adopted(
+            shadow.gen,
+            delay,
+            lambda t, e=effect: t.dispatch(e),
+        )
+        return True
 
     # ------------------------------------------------------------------
     # task lifecycle
@@ -363,10 +453,24 @@ class HopeSystem:
                 "use the HopeProcess facade (p.compute / p.recv / ...) so the "
                 "effect log stays replayable"
             )
-        if proc.log.replaying:
-            result = proc.log.feed(effect.kind)
-            task.resume(result)
-            return
+        log = proc.log
+        # Replay fast-forward: feed the whole logged prefix in one tight
+        # loop (one simulator event total) instead of scheduling a resume
+        # event per entry.  No virtual time passes during replay either
+        # way, and the replaying task interacts with nothing live, so
+        # collapsing the per-entry events is behaviour-preserving.
+        # (log.cursor < len(...) is `log.replaying`, inlined: this guard
+        # runs once per live effect and the property call was measurable.)
+        while log.cursor < len(log.entries):
+            result = log.feed(effect.kind)
+            effect = task.drive(result)
+            if effect is None:
+                return  # the incarnation finished (or died) mid-replay
+            if not isinstance(effect, HopeEffect):
+                raise HopeError(
+                    f"HOPE process {proc.name!r} yielded non-HOPE effect "
+                    f"{effect!r} during replay"
+                )
         handler = self._LIVE_HANDLERS[type(effect)]
         handler(self, proc, task, effect)
 
@@ -376,31 +480,37 @@ class HopeSystem:
         handle = AidHandle(aid.key, effect.name)
         self._handles[aid.key] = handle
         proc.log.append("aid_init", handle)
-        self.tracer.record(self.sim.now, "aid_init", proc.name, aid=aid.key)
-        task.resume(handle)
+        if self._tracing:
+            self.tracer.record(self.sim.now, "aid_init", proc.name, aid=aid.key)
+        task.resume_now(handle)
 
     def _do_guess(self, proc, task, effect: GuessEffect) -> None:
         aid = self.machine.aid(effect.aid_key)
         if not self.speculation and aid.pending:
             # Pessimistic mode: wait for the resolution instead of
             # speculating.  The process stays definite throughout.
-            self.timeline.process(proc.name).mark(Span.BLOCKED, self.sim.now)
+            proc.track.mark(Span.BLOCKED, self.sim.now)
             self._aid_waiters.setdefault(aid.key, []).append(
                 (proc, task, proc.incarnation)
             )
-            self.tracer.record(
-                self.sim.now, "guess_wait", proc.name, aid=aid.key
-            )
+            if self._tracing:
+                self.tracer.record(
+                    self.sim.now, "guess_wait", proc.name, aid=aid.key
+                )
             return
         checkpoint = Checkpoint(len(proc.log), self.sim.now)
         value = self.machine.guess(proc.name, aid, ps=checkpoint)
         if value and aid.pending:
+            # A real speculative interval was opened: this checkpoint is
+            # now a possible rollback target, so park the shadow on it.
+            self._note_checkpoint(proc, checkpoint)
             self.control.note_guess(proc.name, 1)
         proc.log.append("guess", value)
-        self.tracer.record(
-            self.sim.now, "guess", proc.name, aid=aid.key, value=value
-        )
-        task.resume(value)
+        if self._tracing:
+            self.tracer.record(
+                self.sim.now, "guess", proc.name, aid=aid.key, value=value
+            )
+        task.resume_now(value)
 
     def _do_resolution(self, proc, task, effect) -> None:
         """affirm / deny / free_of share the may-roll-back-self pattern."""
@@ -412,42 +522,45 @@ class HopeSystem:
             self.control.issue("deny", proc.name, aid)
         else:
             self.control.issue("free_of", proc.name, aid)
-        self.tracer.record(
-            self.sim.now, effect.kind, proc.name, aid=aid.key, status=aid.status.value
-        )
+        if self._tracing:
+            self.tracer.record(
+                self.sim.now, effect.kind, proc.name, aid=aid.key, status=aid.status.value
+            )
         if proc.incarnation != before:
             # The primitive rolled back its own executor (e.g. a free_of
             # violation).  A restart is already scheduled; the statement's
             # log entry died in the truncation, so neither log nor resume.
             return
         proc.log.append(effect.kind, None)
-        task.resume(None)
+        task.resume_now(None)
 
     def _do_send(self, proc, task, effect: SendEffect) -> None:
-        deps = self.machine.dependencies_of(proc.name)
-        tags = frozenset(a.key for a in deps)
+        current = self.machine.processes[proc.name].current
+        ido = current.ido if current is not None else self.machine.depsets.empty
+        tags = ido.tag_keys           # interned: O(1) after the first send
         delivery = self.network.send(proc.name, effect.dst, effect.payload, tags=tags)
-        current = self.machine.process(proc.name).current
         if current is not None:
             current.meta.setdefault("sent", []).append(delivery)
-        proc.log.append("send", delivery.message.msg_id)
-        self.tracer.record(
-            self.sim.now, "send", proc.name, dst=effect.dst, tags=len(tags)
-        )
-        task.resume(delivery.message.msg_id)
+        msg_id = delivery.message.msg_id
+        proc.log.append("send", msg_id)
+        if self._tracing:
+            self.tracer.record(
+                self.sim.now, "send", proc.name, dst=effect.dst, tags=len(tags)
+            )
+        task.resume_now(msg_id)
 
     def _do_recv(self, proc, task, effect: RecvEffect) -> None:
         bridge = _RecvBridge(self, proc, effect)
         task.add_cleanup(bridge.cancel)
-        self.timeline.process(proc.name).mark(Span.BLOCKED, self.sim.now)
+        proc.track.mark(Span.BLOCKED, self.sim.now)
         self._register_bridge(bridge)
 
     def _register_bridge(self, bridge: _RecvBridge) -> None:
-        mailbox = self.network.mailbox(bridge.proc.name)
-        mailbox.register_receiver(bridge, bridge.effect.timeout, bridge.effect.predicate)
+        effect = bridge.effect
+        bridge.proc.mailbox.register_receiver(bridge, effect.timeout, effect.predicate)
 
     def _do_compute(self, proc, task, effect: ComputeEffect) -> None:
-        self.timeline.process(proc.name).mark(Span.BUSY, self.sim.now)
+        proc.track.mark(Span.BUSY, self.sim.now)
         task._pending = self.sim.schedule(
             effect.duration,
             self._finish_compute,
@@ -457,33 +570,34 @@ class HopeSystem:
         )
 
     def _finish_compute(self, proc: ProcessRuntime, task: Task) -> None:
-        self.timeline.process(proc.name).mark(Span.BLOCKED, self.sim.now)
+        proc.track.mark(Span.BLOCKED, self.sim.now)
         proc.log.append("compute", None)
         task.resume_inline(None)
 
     def _do_now(self, proc, task, effect: NowEffect) -> None:
         value = self.sim.now
         proc.log.append("now", value)
-        task.resume(value)
+        task.resume_now(value)
 
     def _do_random(self, proc, task, effect: RandomEffect) -> None:
         value = self.streams[f"proc:{proc.name}"].random()
         proc.log.append("random", value)
-        task.resume(value)
+        task.resume_now(value)
 
     def _do_emit(self, proc, task, effect: EmitEffect) -> None:
         current = self.machine.process(proc.name).current
         record = OutputRecord(effect.value, len(proc.log), current, self.sim.now)
         proc.outputs.append(record)
         proc.log.append("emit", None)
-        self.tracer.record(
-            self.sim.now,
-            "emit",
-            proc.name,
-            value=repr(effect.value),
-            speculative=current is not None,
-        )
-        task.resume(None)
+        if self._tracing:
+            self.tracer.record(
+                self.sim.now,
+                "emit",
+                proc.name,
+                value=repr(effect.value),
+                speculative=current is not None,
+            )
+        task.resume_now(None)
 
     def _do_spawn(self, proc, task, effect: SpawnEffect) -> None:
         if self.machine.process(proc.name).current is not None:
@@ -492,7 +606,7 @@ class HopeSystem:
             )
         self.spawn(effect.name, effect.fn, *effect.args)
         proc.log.append("spawn", effect.name)
-        task.resume(effect.name)
+        task.resume_now(effect.name)
 
     _LIVE_HANDLERS = {
         AidInitEffect: _do_aid_init,
@@ -536,7 +650,8 @@ class HopeSystem:
         assert task is not None
         if value is TIMED_OUT:
             proc.log.append("recv", TIMED_OUT)
-            self.tracer.record(self.sim.now, "recv_timeout", proc.name)
+            if self._tracing:
+                self.tracer.record(self.sim.now, "recv_timeout", proc.name)
             task.clear_cleanups()
             task.resume(TIMED_OUT)
             return
@@ -546,36 +661,39 @@ class HopeSystem:
             return
         live, deps = self._resolve_message_tags(message)
         if not live:
-            self.tracer.record(
-                self.sim.now, "drop_dead_message", proc.name, msg=message.msg_id
-            )
+            if self._tracing:
+                self.tracer.record(
+                    self.sim.now, "drop_dead_message", proc.name, msg=message.msg_id
+                )
             self._register_bridge(bridge)
             return
         if deps:
             checkpoint = Checkpoint(len(proc.log), self.sim.now)
             interval = self.machine.guess_many(proc.name, deps, ps=checkpoint)
             if interval is not None:
+                self._note_checkpoint(proc, checkpoint)
                 self.control.note_guess(proc.name, len(deps))
-                self.tracer.record(
-                    self.sim.now,
-                    "implicit_guess",
-                    proc.name,
-                    aids=tuple(sorted(a.key for a in deps)),
-                )
+                if self._tracing:
+                    self.tracer.record(
+                        self.sim.now,
+                        "implicit_guess",
+                        proc.name,
+                        aids=tuple(sorted(a.key for a in deps)),
+                    )
         received = ReceivedMessage(message.payload, message.src, message.msg_id)
-        current = self.machine.process(proc.name).current
+        current = self.machine.processes[proc.name].current
         if current is not None:
             current.meta.setdefault("received", []).append(message)
         proc.log.append("recv", received)
-        self.tracer.record(
-            self.sim.now, "recv", proc.name, src=message.src, msg=message.msg_id
-        )
+        if self._tracing:
+            self.tracer.record(
+                self.sim.now, "recv", proc.name, src=message.src, msg=message.msg_id
+            )
         task.clear_cleanups()
         task.resume(received)
 
     def _resolve_message_tags(self, message: Message):
-        tag_aids = [self.machine.aid(key) for key in message.tags]
-        return self.machine.resolve_tags(tag_aids)
+        return self.machine.resolve_tag_keys(message.tags)
 
     # ------------------------------------------------------------------
     # rollback propagation
@@ -598,9 +716,10 @@ class HopeSystem:
                     continue
                 value = self.machine.guess(proc.name, aid)  # guess_skip path
                 proc.log.append("guess", value)
-                self.tracer.record(
-                    self.sim.now, "guess", proc.name, aid=aid.key, value=value
-                )
+                if self._tracing:
+                    self.tracer.record(
+                        self.sim.now, "guess", proc.name, aid=aid.key, value=value
+                    )
                 task.resume(value)
 
     def _apply_rollback(self, event: RollbackEvent) -> None:
@@ -638,20 +757,21 @@ class HopeSystem:
         proc.outputs = [
             r for r in proc.outputs if r.log_index < checkpoint.log_index
         ]
-        wasted = self.timeline.process(proc.name).reclassify_since(
+        wasted = proc.track.reclassify_since(
             checkpoint.time, Span.WASTED, self.sim.now
         )
         if redeliver:
             redeliver.sort(key=lambda m: (m.deliver_time, m.msg_id))
             self.network.mailbox(proc.name).requeue_front(redeliver)
         proc.restarts += 1
-        self._start_task(
-            proc, delay=self.rollback_overhead + self.control.notify_delay()
-        )
+        delay = self.rollback_overhead + self.control.notify_delay()
+        promoted = self._try_promote_shadow(proc, checkpoint.log_index, delay)
+        if not promoted:
+            self._start_task(proc, delay)
         self.tracer.record(
             self.sim.now,
             "restart",
             proc.name,
-            replay=len(proc.log),
+            replay=0 if promoted else len(proc.log),
             wasted=round(wasted, 6),
         )

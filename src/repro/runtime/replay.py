@@ -13,6 +13,16 @@ a pure function of its effect results (all nondeterminism — time, messages,
 randomness — flows through effects).  It is also *measurable*: the CKPT
 benchmark charges real wall-clock for replays, matching the paper's remark
 that their checkpointing is the inefficiency to optimize.
+
+Checkpointed partial replay (``HopeSystem(fast_rollback=True)``) closes
+that inefficiency for rollback: a :class:`ShadowCheckpoint` is a replica
+incarnation of the process parked at the newest guess boundary, advanced
+incrementally as checkpoints are taken.  A rollback whose truncation
+point is at or after the shadow's position promotes the replica to be
+the live incarnation instead of replaying the whole log from entry 0 —
+restoring a checkpoint costs only the log delta since the shadow, i.e.
+O(work since the rolled-back guess), not O(full history).  See
+docs/PERFORMANCE.md for the exact contract (bodies must be effect-pure).
 """
 
 from __future__ import annotations
@@ -77,6 +87,11 @@ class EffectLog:
         self.cursor = 0
         self.replay_count = 0
         self.replayed_entries_total = 0
+        #: Entries a rollback did NOT re-feed because a shadow checkpoint
+        #: already covered them (see :class:`ShadowCheckpoint`).
+        self.skipped_entries_total = 0
+        #: Entries fed into shadow replicas (checkpoint-maintenance work).
+        self.shadow_feeds_total = 0
 
     # ------------------------------------------------------------------
     # live side
@@ -101,6 +116,23 @@ class EffectLog:
         """Reset the cursor for a fresh incarnation."""
         self.cursor = 0
         if self.entries:
+            self.replay_count += 1
+
+    def begin_replay_at(self, index: int) -> None:
+        """Resume an incarnation whose prefix is vouched for externally.
+
+        Used when a :class:`ShadowCheckpoint` is promoted: the replica
+        already consumed ``entries[:index]``, so the cursor starts there
+        and only the remainder (normally nothing — the truncation point
+        IS the checkpoint) is re-fed.
+        """
+        if index > len(self.entries):
+            raise HopeError(
+                f"replay start index {index} beyond log length {len(self.entries)}"
+            )
+        self.cursor = index
+        self.skipped_entries_total += index
+        if self.cursor < len(self.entries):
             self.replay_count += 1
 
     def feed(self, kind: str) -> Any:
@@ -130,3 +162,76 @@ class EffectLog:
 
     def __repr__(self) -> str:
         return f"<EffectLog {self.cursor}/{len(self.entries)} replays={self.replay_count}>"
+
+
+class ShadowCheckpoint:
+    """A replica incarnation parked at a guess boundary.
+
+    Python generators cannot be copied, so a checkpoint cannot literally
+    snapshot the live frame.  Instead the engine keeps one *replica*
+    generator per process: at every checkpoint it is advanced by feeding
+    it the logged effect results up to the checkpoint's log index — each
+    log entry is fed to the replica at most once between rebuilds, so
+    maintenance is incremental, O(new entries since the last checkpoint).
+    A rollback that truncates at or after the replica's position promotes
+    it to be the live incarnation: the restart replays only the delta
+    instead of rewinding to log entry 0.
+
+    Soundness contract: the process body must be *effect-pure* — all of
+    its observable behaviour flows through yielded effects (the same
+    determinism replay already requires, strengthened to "no out-of-band
+    side effects", because the replica re-executes the prefix eagerly).
+    A kind mismatch while feeding marks the shadow invalid and the
+    engine falls back to full replay; semantics never depend on it.
+    """
+
+    __slots__ = ("gen", "pos", "pending_effect", "valid")
+
+    def __init__(self, gen) -> None:
+        self.gen = gen
+        #: Number of log entries the replica has consumed.
+        self.pos = 0
+        #: The effect the replica is suspended on (yielded, not yet fed).
+        self.pending_effect: Any = None
+        self.valid = True
+
+    def advance(self, log: EffectLog, target: int) -> bool:
+        """Feed logged results until ``pos`` reaches ``target``.
+
+        Returns False (and invalidates the shadow) on any divergence —
+        the replica yielding a different effect kind than the log, or
+        finishing early.  Feeds are charged to ``log.shadow_feeds_total``.
+        """
+        if not self.valid or target > len(log.entries) or target < self.pos:
+            self.invalidate()
+            return False
+        try:
+            if self.pending_effect is None:
+                self.pending_effect = self.gen.send(None)
+            while self.pos < target:
+                entry = log.entries[self.pos]
+                if entry.kind != getattr(self.pending_effect, "kind", None):
+                    self.invalidate()
+                    return False
+                self.pending_effect = self.gen.send(entry.result)
+                self.pos += 1
+                log.shadow_feeds_total += 1
+        except StopIteration:
+            self.invalidate()
+            return False
+        except Exception:
+            # A replica crash must never take down the live run; the
+            # shadow is an optimization, so fall back to full replay.
+            self.invalidate()
+            return False
+        return True
+
+    def invalidate(self) -> None:
+        self.valid = False
+        if self.gen is not None:
+            self.gen.close()
+            self.gen = None
+
+    def __repr__(self) -> str:
+        state = "valid" if self.valid else "invalid"
+        return f"<ShadowCheckpoint pos={self.pos} {state}>"

@@ -50,7 +50,7 @@ class ScheduledEvent:
     concurrent events.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "label", "priority")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "label", "priority", "sim")
 
     def __init__(
         self,
@@ -60,6 +60,7 @@ class ScheduledEvent:
         args: tuple,
         label: str = "",
         priority: int = 0,
+        sim: Optional["Simulator"] = None,
     ) -> None:
         self.time = time
         self.seq = seq
@@ -68,10 +69,17 @@ class ScheduledEvent:
         self.cancelled = False
         self.label = label
         self.priority = priority
+        #: Owning simulator, so cancellation can keep its live-event count
+        #: exact without a heap scan (None for standalone events).
+        self.sim = sim
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.sim is not None:
+            self.sim._live -= 1
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         return (self.time, self.priority, self.seq) < (
@@ -102,6 +110,10 @@ class Simulator:
     def __init__(self, tie_breaker: Optional[Callable[[], int]] = None) -> None:
         self._now: float = 0.0
         self._heap: list[ScheduledEvent] = []
+        #: Count of not-yet-cancelled, not-yet-executed events.  Kept exact
+        #: by schedule/cancel/pop so :attr:`pending_events` is O(1) instead
+        #: of a heap scan (benchmarks poll it per-iteration).
+        self._live = 0
         self._seq = itertools.count()
         self._events_processed = 0
         self._running = False
@@ -142,9 +154,10 @@ class Simulator:
             raise ScheduleInPastError(f"cannot schedule {delay} time units in the past")
         priority = self._tie_breaker() if self._tie_breaker is not None else 0
         event = ScheduledEvent(
-            self._now + delay, next(self._seq), fn, args, label, priority
+            self._now + delay, next(self._seq), fn, args, label, priority, sim=self
         )
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def schedule_at(
@@ -187,6 +200,8 @@ class Simulator:
                     self._now = until
                     break
                 heapq.heappop(self._heap)
+                self._live -= 1
+                event.sim = None  # detach: a late cancel() must not re-decrement
                 self._now = event.time
                 self._events_processed += 1
                 if budget is not None:
@@ -209,6 +224,8 @@ class Simulator:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            self._live -= 1
+            event.sim = None  # detach: a late cancel() must not re-decrement
             self._now = event.time
             self._events_processed += 1
             event.fn(*event.args)
@@ -221,12 +238,17 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events still in the heap."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of not-yet-cancelled events still in the heap.  O(1):
+        maintained by schedule/cancel/pop rather than scanning the heap."""
+        return self._live
 
     def peek_time(self) -> Optional[float]:
-        """Virtual time of the next live event, or None if idle."""
-        for event in sorted(self._heap):
-            if not event.cancelled:
-                return event.time
-        return None
+        """Virtual time of the next live event, or None if idle.
+
+        Lazily pops cancelled events off the heap head (amortized
+        O(log n) per cancellation) instead of sorting the whole heap.
+        """
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None

@@ -197,6 +197,8 @@ class Task:
         self._state = Task._FRESH
         self._pending: Optional[ScheduledEvent] = None
         self._cleanups: list[Callable[[], None]] = []
+        self._has_inline = False
+        self._inline_value: Any = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -209,6 +211,34 @@ class Task:
         self._state = Task._WAITING
         self._pending = self.sim.schedule(delay, self._step, None, False, label=f"start:{self.name}")
         return self
+
+    def start_adopted(
+        self,
+        gen: Generator,
+        delay: float,
+        kickoff: Callable[["Task"], None],
+    ) -> "Task":
+        """Start from an already-advanced generator instead of a fresh one.
+
+        Used to promote a replay shadow (see
+        :class:`repro.runtime.replay.ShadowCheckpoint`): ``gen`` is
+        suspended at a yield whose effect the caller already holds, so no
+        first ``send(None)`` happens — ``kickoff(task)`` runs after
+        ``delay`` and must dispatch that held effect (after which the
+        task behaves exactly like one that replayed its way here).
+        """
+        if self._state != Task._FRESH:
+            raise SimulationError(f"task {self.name!r} already started")
+        self._gen = gen
+        self._state = Task._WAITING
+        self._pending = self.sim.schedule(
+            delay, self._run_kickoff, kickoff, label=f"adopt:{self.name}"
+        )
+        return self
+
+    def _run_kickoff(self, kickoff: Callable[["Task"], None]) -> None:
+        self._pending = None
+        kickoff(self)
 
     @property
     def state(self) -> str:
@@ -251,6 +281,22 @@ class Task:
         self._pending = None
         self._step(value, False)
 
+    def resume_now(self, value: Any = None) -> None:
+        """Complete the current effect synchronously, from *inside* its
+        handler call: the :meth:`_step` trampoline continues the generator
+        in the same stack frame instead of scheduling a zero-delay event.
+
+        This is for effects whose result is available immediately (a send
+        returning its message id, a clock read, ...) — the per-effect
+        simulator event was pure heap churn.  Only valid while the
+        handler invoked by ``_step`` is on the stack; handlers whose
+        completion arrives later (timeouts, message delivery) must keep
+        using :meth:`resume`.
+        """
+        self._expect_waiting("resume_now")
+        self._has_inline = True
+        self._inline_value = value
+
     def kill(self, reason: str = "") -> None:
         """Terminate the task: cancel pending resumes and close the generator.
 
@@ -290,6 +336,48 @@ class Task:
     # trampoline
     # ------------------------------------------------------------------
     def _step(self, value: Any, is_throw: bool) -> None:
+        effect = self._drive(value, is_throw)
+        if effect is not None:
+            self.dispatch(effect)
+
+    def dispatch(self, effect: Effect) -> None:
+        """Hand an effect to the handler, running the resume_now trampoline.
+
+        When the handler completes the effect synchronously via
+        :meth:`resume_now`, the generator is driven again in this same
+        frame — unbounded same-time effect chains (e.g. a loop of sends)
+        stay flat instead of recursing or burning one simulator event
+        each.
+        """
+        while True:
+            self.handler(self, effect)
+            if not self._has_inline:
+                return
+            self._has_inline = False
+            value, self._inline_value = self._inline_value, None
+            if self._state != Task._WAITING:
+                return  # killed/finished from within the handler
+            effect = self._drive(value, False)
+            if effect is None:
+                return
+
+    def drive(self, value: Any = None) -> Optional[Effect]:
+        """Advance the generator one step synchronously and return the
+        yielded effect — ``None`` if the task finished — without
+        dispatching it to the handler.
+
+        This is the replay fast path: the HOPE engine feeds a restarted
+        incarnation its logged effect results in a tight loop, one
+        ``drive`` per entry, instead of scheduling a simulator event per
+        resume.  Only valid while the task is waiting at a yield.
+        """
+        if self._state != Task._WAITING:
+            raise SimulationError(
+                f"cannot drive task {self.name!r} in state {self._state!r}"
+            )
+        return self._drive(value, False)
+
+    def _drive(self, value: Any, is_throw: bool) -> Optional[Effect]:
         assert self._gen is not None
         self._pending = None
         self._run_cleanups()
@@ -304,12 +392,12 @@ class Task:
             self.result = stop.value
             if self.on_exit is not None:
                 self.on_exit(self)
-            return
+            return None
         except TaskKilled:
             self._state = Task._KILLED
             if self.on_exit is not None:
                 self.on_exit(self)
-            return
+            return None
         except Exception as exc:
             self._state = Task._FAILED
             self.error = exc
@@ -317,7 +405,7 @@ class Task:
                 self.on_exit(self)
             raise
         self._state = Task._WAITING
-        self.handler(self, effect)
+        return effect
 
     def _run_cleanups(self) -> None:
         cleanups, self._cleanups = self._cleanups, []

@@ -49,6 +49,11 @@ class Tracer:
         max_records: Optional[int] = None,
     ) -> None:
         self._categories = frozenset(categories) if categories is not None else None
+        #: categories=() means "record nothing": every record() call is
+        #: pure overhead.  The engine reads this to skip its hot-path
+        #: record calls entirely (record() itself still counts, per the
+        #: NullTracer contract, when it *is* called).
+        self._disabled = self._categories is not None and not self._categories
         self._max_records = max_records
         self.records: list[TraceRecord] = []
         self.truncated = False

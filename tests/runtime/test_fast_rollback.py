@@ -1,0 +1,208 @@
+"""Checkpointed partial replay (``HopeSystem(fast_rollback=True)``).
+
+The shadow-checkpoint machinery must be a pure optimization: every
+observable outcome (results, final time, outputs, machine state) is
+identical with it on or off; only the replay accounting differs — a
+promoted rollback re-feeds nothing (``replay_skipped_entries`` grows
+instead of ``replayed_effects``).
+"""
+
+from repro.core.errors import HopeError
+from repro.runtime.engine import HopeSystem
+from repro.runtime.replay import EffectLog, ShadowCheckpoint
+
+
+def _worker_judge_system(fast_rollback, prefix=40):
+    """Worker does `prefix` pre-guess computes, guesses, gets denied."""
+
+    def worker(p):
+        for _ in range(prefix):
+            yield p.compute(0.01)
+        a = yield p.aid_init("flaky")
+        yield p.send("judge", a)
+        if (yield p.guess(a)):
+            yield p.compute(5.0)
+            yield p.emit("speculative")
+            return "spec-done"
+        yield p.compute(0.5)
+        return "denied"
+
+    def judge(p):
+        msg = yield p.recv()
+        yield p.compute(2.0)
+        yield p.deny(msg.payload)
+        return "judged"
+
+    sys = HopeSystem(fast_rollback=fast_rollback)
+    sys.spawn("judge", judge)
+    sys.spawn("worker", worker)
+    return sys
+
+
+class TestPromotion:
+    def test_observable_behaviour_identical(self):
+        base = _worker_judge_system(False)
+        fast = _worker_judge_system(True)
+        t_base, t_fast = base.run(), fast.run()
+        assert t_base == t_fast
+        assert base.result_of("worker") == fast.result_of("worker") == "denied"
+        assert base.result_of("judge") == fast.result_of("judge")
+        assert base.outputs("worker") == fast.outputs("worker") == []
+        base.machine.check_invariants()
+        fast.machine.check_invariants()
+
+    def test_rollback_skips_the_logged_prefix(self):
+        sys = _worker_judge_system(True, prefix=40)
+        sys.run()
+        stats = sys.stats()
+        assert stats["rollbacks"] == 1
+        # the restart re-fed nothing: the shadow was promoted instead
+        assert stats["replayed_effects"] == 0
+        assert stats["replay_skipped_entries"] >= 40
+        assert stats["shadow_feeds"] >= 40
+
+    def test_baseline_replays_everything(self):
+        sys = _worker_judge_system(False, prefix=40)
+        sys.run()
+        stats = sys.stats()
+        assert stats["rollbacks"] == 1
+        assert stats["replayed_effects"] >= 40
+        assert stats["replay_skipped_entries"] == 0
+        assert stats["shadow_feeds"] == 0
+
+    def test_promoted_process_continues_correctly(self):
+        """Post-rollback work (the denied branch) runs to completion on
+        the promoted incarnation, including fresh log appends."""
+        sys = _worker_judge_system(True)
+        sys.run()
+        proc = sys.procs["worker"]
+        assert proc.done and proc.result == "denied"
+        # the log holds the preserved prefix plus the denied-branch tail
+        assert len(proc.log) > 40
+        assert not proc.log.replaying
+
+
+class TestFallbacks:
+    def test_rollback_to_older_checkpoint_falls_back_to_replay(self):
+        """The shadow parks at the NEWEST guess; denying the OLDER guess
+        truncates before it, so promotion must refuse and full replay
+        must still produce the right answer."""
+
+        def worker(p):
+            for _ in range(10):
+                yield p.compute(0.01)
+            x = yield p.aid_init("x")
+            y = yield p.aid_init("y")
+            yield p.send("judge", x)
+            vx = yield p.guess(x)
+            yield p.compute(1.0)
+            vy = yield p.guess(y)      # shadow advances to this boundary
+            yield p.compute(5.0)
+            return ("both", vx, vy)
+
+        def judge(p):
+            msg = yield p.recv()
+            yield p.compute(3.0)       # after worker's second guess
+            yield p.deny(msg.payload)  # denies x: the OLDER guess
+            return "judged"
+
+        sys = HopeSystem(fast_rollback=True)
+        sys.spawn("judge", judge)
+        sys.spawn("worker", worker)
+        sys.run()
+        proc = sys.procs["worker"]
+        assert proc.done
+        assert proc.result == ("both", False, True)
+        stats = sys.stats()
+        assert stats["rollbacks"] == 1
+        # promotion refused; the restart re-fed the pre-x prefix
+        assert stats["replayed_effects"] > 0
+        sys.machine.check_invariants()
+
+    def test_crash_discards_the_shadow(self):
+        def worker(p):
+            a = yield p.aid_init("a")
+            yield p.guess(a)
+            yield p.compute(100.0)
+            return "never"
+
+        sys = HopeSystem(fast_rollback=True)
+        sys.spawn("worker", worker)
+        sys.run(until=1.0)
+        assert sys.procs["worker"].shadow is not None
+        sys.crash_process("worker")
+        assert sys.procs["worker"].shadow is None
+
+    def test_fast_rollback_off_never_builds_shadows(self):
+        sys = _worker_judge_system(False)
+        sys.run()
+        assert all(p.shadow is None for p in sys.procs.values())
+
+
+class TestShadowCheckpointUnit:
+    """Direct unit tests for the replica container."""
+
+    class _FakeEffect:
+        def __init__(self, kind):
+            self.kind = kind
+
+    def _body(self, trace=None):
+        def gen():
+            for i in range(5):
+                result = yield self._FakeEffect("compute")
+                if trace is not None:
+                    trace.append(result)
+            yield self._FakeEffect("send")
+
+        return gen()
+
+    def _log(self, kinds):
+        log = EffectLog()
+        for i, kind in enumerate(kinds):
+            log.append(kind, i)
+        return log
+
+    def test_advance_feeds_logged_results(self):
+        trace = []
+        log = self._log(["compute"] * 5)
+        shadow = ShadowCheckpoint(self._body(trace))
+        assert shadow.advance(log, 3)
+        assert shadow.pos == 3
+        assert trace == [0, 1, 2]
+        assert log.shadow_feeds_total == 3
+        # incremental: a later advance only feeds the delta
+        assert shadow.advance(log, 5)
+        assert trace == [0, 1, 2, 3, 4]
+        assert shadow.pending_effect.kind == "send"
+
+    def test_kind_divergence_invalidates(self):
+        log = self._log(["compute", "recv"])  # body yields compute twice
+        shadow = ShadowCheckpoint(self._body())
+        assert not shadow.advance(log, 2)
+        assert not shadow.valid
+        assert shadow.gen is None
+
+    def test_early_finish_invalidates(self):
+        log = self._log(["compute"] * 10)  # longer than the body
+        shadow = ShadowCheckpoint(self._body())
+        assert not shadow.advance(log, 10)
+        assert not shadow.valid
+
+    def test_backward_target_invalidates(self):
+        log = self._log(["compute"] * 5)
+        shadow = ShadowCheckpoint(self._body())
+        assert shadow.advance(log, 4)
+        assert not shadow.advance(log, 2)
+        assert not shadow.valid
+
+    def test_begin_replay_at_bounds(self):
+        log = self._log(["compute"] * 3)
+        log.begin_replay_at(3)
+        assert not log.replaying
+        assert log.skipped_entries_total == 3
+        try:
+            log.begin_replay_at(7)
+        except HopeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("out-of-range replay index must raise")

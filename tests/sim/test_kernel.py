@@ -138,3 +138,67 @@ def test_events_processed_counter():
         sim.schedule(1.0, lambda: None)
     sim.run()
     assert sim.events_processed == 5
+
+
+def test_pending_events_counter_stays_exact():
+    """pending_events is O(1) counter-maintained; it must agree with a
+    heap scan through every schedule/cancel/execute combination."""
+    sim = Simulator()
+    events = [sim.schedule(float(i), lambda: None) for i in range(10)]
+    assert sim.pending_events == 10
+    events[0].cancel()
+    events[0].cancel()  # idempotent: no double decrement
+    assert sim.pending_events == 9
+    events[5].cancel()
+    assert sim.pending_events == 8
+    sim.run(until=3.0)  # fires t=1,2,3 (t=0 was cancelled)
+    assert sim.pending_events == 5
+    sim.run()
+    assert sim.pending_events == 0
+
+
+def test_pending_events_exact_after_step():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    e = sim.schedule(2.0, lambda: None)
+    e.cancel()
+    sim.schedule(3.0, lambda: None)
+    assert sim.pending_events == 2
+    sim.step()
+    assert sim.pending_events == 1
+    sim.step()  # skips the cancelled event, fires t=3
+    assert sim.pending_events == 0
+
+
+def test_peek_time_skips_cancelled_run_of_heads():
+    sim = Simulator()
+    head = [sim.schedule(float(i), lambda: None) for i in range(5)]
+    tail = sim.schedule(9.0, lambda: None)
+    for e in head:
+        e.cancel()
+    assert sim.peek_time() == 9.0
+    assert sim.pending_events == 1
+    tail.cancel()
+    assert sim.peek_time() is None
+    assert sim.pending_events == 0
+
+
+def test_peek_time_does_not_disturb_execution_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, fired.append, "b")
+    sim.schedule(1.0, fired.append, "a")
+    assert sim.peek_time() == 1.0
+    assert sim.peek_time() == 1.0  # repeated peeks are stable
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_cancel_after_pop_is_harmless():
+    """Cancelling an event that already fired must not skew the counter."""
+    sim = Simulator()
+    e = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.run(until=1.0)
+    e.cancel()  # already executed: must not decrement again
+    assert sim.pending_events == 1
