@@ -1,8 +1,10 @@
 """CI smoke: fail if HOPE-vs-bare wall overhead regresses past the budget.
 
-Two checks: the CASCADE partial-replay property (deterministic — fast
-rollback must replay fewer entries than full replay at depth 32), then
-the TRACK wall-clock budget.  The TRACK half runs the ping-pong point at
+Three checks: the CASCADE partial-replay property (deterministic — fast
+rollback must replay fewer entries than full replay at depth 32), the
+FOSSIL memory budget (peak RSS growth of a fossil-collected 100k-event
+run must stay within ``max_fossil_rss_delta_kib``), then the TRACK
+wall-clock budget.  The TRACK half runs the ping-pong point at
 the message count stored in
 ``overhead_threshold.json`` and compares the measured
 ``hope_wall / bare_wall`` ratio against ``max_overhead_ratio``.  Wall
@@ -51,10 +53,42 @@ def _check_cascade() -> int:
     return 0
 
 
+def _check_memory(budget: dict) -> int:
+    """FOSSIL half of the smoke: long runs must hold memory flat.
+
+    Runs the fossil-collected steady-state workload over the budgeted
+    event horizon and compares the peak resident-set growth against
+    ``max_fossil_rss_delta_kib``.  The uncollected twin grows by hundreds
+    of KiB per 10k events, so any regression that stops collection from
+    reclaiming (a new pin leak, a frontier that stops advancing) blows
+    the budget immediately.
+    """
+    fossil = _load_bench("bench_fossil_steady")
+    result = fossil.run_horizon(True, events_total=budget["fossil_events"])
+    peak = result["peak_rss_delta_kib"]
+    limit = budget["max_fossil_rss_delta_kib"]
+    stats = result["stats"]
+    print(
+        f"fossil steady-state {budget['fossil_events']} events: "
+        f"peak RSS delta {peak} KiB (budget {limit}), "
+        f"{stats['fossil_collections']} collections, "
+        f"{stats['fossil_log_dropped']} log entries dropped"
+    )
+    if peak > limit:
+        print(f"FAIL: fossil-collected peak RSS delta {peak} KiB exceeds budget {limit}")
+        return 1
+    if not stats["fossil_collections"] or not stats["fossil_log_dropped"]:
+        print("FAIL: fossil collection never reclaimed anything")
+        return 1
+    return 0
+
+
 def main() -> int:
     with open(os.path.join(HERE, "overhead_threshold.json"), encoding="utf-8") as fh:
         budget = json.load(fh)
     if _check_cascade():
+        return 1
+    if _check_memory(budget):
         return 1
     bench = _load_bench("bench_tracking_overhead")
     n = budget["messages"]

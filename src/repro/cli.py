@@ -94,6 +94,24 @@ def build_parser() -> argparse.ArgumentParser:
         default="registry",
         help="dependency-tracking control plane",
     )
+    run.add_argument(
+        "--fast-rollback",
+        action="store_true",
+        help="restore rollbacks from shadow replicas (see docs/PERFORMANCE.md §3)",
+    )
+    run.add_argument(
+        "--fossil-collect",
+        action="store_true",
+        help="reclaim committed state behind the commit frontier "
+        "(bounded memory on long runs; see docs/PERFORMANCE.md §4)",
+    )
+    run.add_argument(
+        "--fossil-interval",
+        type=int,
+        default=64,
+        metavar="N",
+        help="fossil-collect after every N finalizes (with --fossil-collect)",
+    )
     return parser
 
 
@@ -138,6 +156,9 @@ def cmd_run(args, out) -> int:
         latency=ConstantLatency(args.latency),
         trace=tracer,
         aid_mode=args.aid_mode,
+        fast_rollback=args.fast_rollback,
+        fossil_collect=args.fossil_collect,
+        fossil_interval=args.fossil_interval,
     )
     for spec in args.spawn:
         compiled.spawn(system, spec.instance, spec.process, *spec.args)

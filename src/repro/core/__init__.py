@@ -26,6 +26,7 @@ from .events import (
     MachineEvent,
     RollbackEvent,
 )
+from .fossil import FossilStats
 from .history import HistoryEntry, ProcessRecord
 from .interval import Interval, IntervalState
 from .machine import Machine
@@ -40,6 +41,7 @@ __all__ = [
     "IntervalState",
     "ProcessRecord",
     "HistoryEntry",
+    "FossilStats",
     "HopeError",
     "UnknownAidError",
     "UnknownProcessError",

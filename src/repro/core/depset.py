@@ -181,6 +181,32 @@ class DepSetInterner:
             self.stats["depset_hits"] += 1
         return ds
 
+    def compact(self, live: Iterable[DepSet]) -> int:
+        """Drop interned sets not in ``live`` (plus ∅) and all memos.
+
+        Fossil collection calls this with the DepSets still reachable from
+        live machine state.  The memos are cleared wholesale because their
+        ``id()`` keys are only sound while the table strongly holds every
+        operand — a retained memo entry whose operand was dropped could
+        collide with a recycled id.  Dropped sets may be re-derived later;
+        they re-intern as fresh (but equal) canonical objects.
+        """
+        keep = {ds.members: ds for ds in live if isinstance(ds, DepSet)}
+        keep[self.empty.members] = self.empty
+        dropped = len(self._table) - len(keep)
+        if dropped <= 0:
+            return 0
+        self._table = keep
+        self.clear_memos()
+        return dropped
+
+    def clear_memos(self) -> None:
+        """Drop the operation memos (their ``id()`` keys are only sound
+        while every operand — DepSet *and* AID — stays strongly held)."""
+        self._add_memo.clear()
+        self._discard_memo.clear()
+        self._union_memo.clear()
+
     # ------------------------------------------------------------------
     # memoized operations (the machine's hot rewrites)
     # ------------------------------------------------------------------

@@ -95,6 +95,60 @@ class ProcessRecord:
         self._next_index = start_index
         return drop
 
+    def fossilize_before(self, index: int) -> tuple[int, int]:
+        """Drop the committed prefix: history entries and dead intervals
+        strictly below ``index``.
+
+        The inverse of :meth:`truncate_from` — a *prefix* drop, sound only
+        when ``index`` is at or below the process's commit frontier
+        (Theorem 6.1: finalized intervals never roll back, so no future
+        ``Del(H, A)`` can reach below it).  Indices are never reassigned,
+        so the surviving suffix stays comparable with interval start
+        indices.  Returns ``(entries_dropped, intervals_dropped)``.
+        """
+        frontier = self.frontier_index()
+        if index > frontier:
+            raise MachineInvariantError(
+                f"fossilize_before({index}) on {self.name!r} would cross the "
+                f"commit frontier at {frontier}"
+            )
+        n_hist = len(self.history)
+        self.history = [e for e in self.history if e.index >= index]
+        # An interval is fossil once it can never matter again: finalized
+        # and started before the drop point, or rolled back (a terminal
+        # state wherever it sits — truncation already rewound the index
+        # clock past it, so the position test would miss it).  Severing
+        # ``parent`` keeps a surviving child from pinning a dropped
+        # ancestor chain.
+        keep: list[Interval] = []
+        dropped = 0
+        for iv in self.intervals:
+            if iv.rolled_back or (
+                not iv.speculative
+                and iv is not self.current
+                and iv.start_index < index
+            ):
+                dropped += 1
+            else:
+                keep.append(iv)
+        if dropped:
+            self.intervals = keep
+            for iv in keep:
+                if iv.parent is not None and not iv.parent.speculative:
+                    iv.parent = None
+        return (n_hist - len(self.history), dropped)
+
+    def frontier_index(self) -> int:
+        """This process's commit frontier: the start index of its oldest
+        still-speculative interval, or ``_next_index`` when definite.
+
+        Everything strictly below is committed — Theorem 6.1 means no
+        rollback can ever truncate into it.
+        """
+        if not self.speculative:
+            return self._next_index
+        return min(iv.start_index for iv in self.speculative)
+
     # ------------------------------------------------------------------
     # interval queries
     # ------------------------------------------------------------------

@@ -110,6 +110,16 @@ class Machine:
             "intervals_discarded": 0,
             "resolve_cache_hits": 0,
             "resolve_cache_misses": 0,
+            "fossil_collections": 0,
+            "fossil_history_dropped": 0,
+            "fossil_intervals_dropped": 0,
+            "fossil_aids_retired": 0,
+            "fossil_depsets_dropped": 0,
+            # Status tallies of retired AIDs, so aggregate counts stay
+            # reportable after the AID objects are gone.
+            "aids_retired_affirmed": 0,
+            "aids_retired_denied": 0,
+            "aids_retired_pending": 0,
         }
         #: Hash-consed IDO sets: one canonical DepSet per distinct member
         #: set, with memoized add/discard/union (see :mod:`.depset`).
@@ -665,6 +675,23 @@ class Machine:
                                 f"Lemma 5.1 broken: {aid.key} ∈ "
                                 f"{interval.label}.IDO but interval ∉ DOM"
                             )
+
+    # ------------------------------------------------------------------
+    # fossil collection (commit frontier)
+    # ------------------------------------------------------------------
+    def fossil_collect(self, pinned_keys: frozenset = frozenset()):
+        """Reclaim committed state behind each process's commit frontier.
+
+        See :mod:`repro.core.fossil` for what is reclaimed and why it is
+        sound (Theorem 6.1).  ``pinned_keys`` are AID string keys that
+        must remain resolvable by :meth:`aid` — callers embedding the
+        machine (the runtime) pin tags of in-flight messages and
+        user-held handles.  Must be called between primitives, never from
+        an event listener.  Returns :class:`repro.core.fossil.FossilStats`.
+        """
+        from .fossil import collect
+
+        return collect(self, pinned_keys)
 
     # ------------------------------------------------------------------
     # crash support (optimistic recovery)

@@ -13,6 +13,7 @@ from .api import AidHandle, CorrelationCounter, HopeProcess, aid_key, call
 from .effects import (
     AffirmEffect,
     AidInitEffect,
+    CommitPointEffect,
     ComputeEffect,
     DenyEffect,
     EmitEffect,
@@ -27,7 +28,7 @@ from .effects import (
 )
 from .engine import HopeSystem, OutputRecord, ProcessRuntime, SpeculativeSpawnError
 from .messages import ReceivedMessage, RpcReply, RpcRequest, is_reply_to
-from .replay import Checkpoint, EffectLog, LogEntry, ReplayDivergenceError
+from .replay import Checkpoint, EffectLog, LogEntry, RebasePoint, ReplayDivergenceError
 
 __all__ = [
     "HopeSystem",
@@ -42,6 +43,7 @@ __all__ = [
     "RpcReply",
     "is_reply_to",
     "EffectLog",
+    "RebasePoint",
     "LogEntry",
     "Checkpoint",
     "ReplayDivergenceError",
@@ -58,6 +60,7 @@ __all__ = [
     "NowEffect",
     "RandomEffect",
     "EmitEffect",
+    "CommitPointEffect",
     "SpawnEffect",
     "OutputRecord",
 ]

@@ -26,6 +26,7 @@ from typing import Any, Callable, Optional, Union
 from .effects import (
     AffirmEffect,
     AidInitEffect,
+    CommitPointEffect,
     ComputeEffect,
     DenyEffect,
     EmitEffect,
@@ -51,6 +52,18 @@ class AidHandle:
 
     key: str
     name: str
+
+    # Handles are immutable values, so copying them as identity is
+    # semantically free — and load-bearing for fossil collection: the
+    # engine pins an AID against retirement while *this object* is
+    # reachable (weak-value handle table), and commit-point states are
+    # deep-copied.  A copy that produced a fresh object would silently
+    # drop the pin when the original died.
+    def __copy__(self) -> "AidHandle":
+        return self
+
+    def __deepcopy__(self, memo) -> "AidHandle":
+        return self
 
     def __repr__(self) -> str:
         return f"AID<{self.key}>"
@@ -153,6 +166,34 @@ class HopeProcess:
     def spawn(self, name: str, fn: Callable, *args: Any) -> SpawnEffect:
         """Start another HOPE process; resumes with its name."""
         return SpawnEffect(name, fn, *args)
+
+    def commit_point(self, state: Any) -> CommitPointEffect:
+        """Declare that ``state`` fully captures this process here.
+
+        The engine deep-copies ``state`` and, once the commit frontier
+        passes this point (all guesses taken before it are finalized),
+        fossil-collects the effect-log prefix behind it: future restarts
+        call the body with ``resume=<copy of state>`` instead of
+        replaying from program entry, so long-running processes stop
+        accumulating journal entries.
+
+        Contract — the body must support resumption::
+
+            def worker(p, resume=None):
+                state = resume if resume is not None else make_initial_state()
+                if resume is None:
+                    ... one-time setup effects ...
+                while True:
+                    ... one round of work mutating state ...
+                    yield p.commit_point(state)
+
+        Everything the body carries across the commit point must live in
+        ``state`` (locals not derivable from it are lost on a rebased
+        restart), and ``state`` must be deep-copyable.  A no-op when the
+        system runs without ``fossil_collect=True`` (the effect is still
+        logged, so traces match between modes).  Resumes with ``None``.
+        """
+        return CommitPointEffect(state)
 
     def __repr__(self) -> str:
         return f"HopeProcess({self.name!r})"

@@ -178,6 +178,27 @@ class EmitEffect(HopeEffect):
         return f"Emit({self.value!r})"
 
 
+class CommitPointEffect(HopeEffect):
+    """Declare a rebase point: ``state`` fully captures the process here.
+
+    The engine deep-copies ``state`` and remembers it as a *rebase
+    candidate*.  Once the commit frontier passes this point, fossil
+    collection may drop the effect-log prefix behind it and rebuild
+    future incarnations by calling the body with ``resume=<state copy>``
+    instead of replaying from program entry (see
+    :meth:`repro.runtime.api.HopeProcess.commit_point` for the contract).
+    """
+
+    __slots__ = ("state",)
+    kind = "commit"
+
+    def __init__(self, state: Any) -> None:
+        self.state = state
+
+    def __repr__(self) -> str:
+        return "CommitPoint()"
+
+
 class SpawnEffect(HopeEffect):
     """Spawn another HOPE process; resumes with its name."""
 

@@ -24,11 +24,14 @@ Responsibilities mirror §7 of the paper:
 
 from __future__ import annotations
 
+import copy
+import weakref
 from typing import Any, Callable, Generator, Optional
 
 from ..core import (
     AidStatus,
     AssumptionId,
+    FinalizeEvent,
     HopeError,
     Machine,
     MachineEvent,
@@ -53,6 +56,7 @@ from .api import AidHandle, AidRef, HopeProcess, aid_key
 from .effects import (
     AffirmEffect,
     AidInitEffect,
+    CommitPointEffect,
     ComputeEffect,
     DenyEffect,
     EmitEffect,
@@ -66,7 +70,7 @@ from .effects import (
     SpawnEffect,
 )
 from .messages import ReceivedMessage
-from .replay import Checkpoint, EffectLog, ShadowCheckpoint
+from .replay import Checkpoint, EffectLog, RebasePoint, ShadowCheckpoint
 
 
 class SpeculativeSpawnError(HopeError):
@@ -123,9 +127,25 @@ class ProcessRuntime:
         #: marks and recv registrations skip the per-event name lookups).
         self.track = None
         self.mailbox = None
+        #: The promoted rebase point — always at ``log.base`` (None means
+        #: incarnations start from program entry; see commit_point).
+        self.rebase: Optional[RebasePoint] = None
+        #: Candidate rebase points not yet behind the commit frontier.
+        self.rebase_candidates: list[RebasePoint] = []
 
     def body(self, env) -> Generator:
-        """Adapter: the sim Task calls ``fn(env)``; HOPE bodies take the facade."""
+        """Adapter: the sim Task calls ``fn(env)``; HOPE bodies take the facade.
+
+        A process with a promoted rebase point restarts *from the commit
+        point*: the body is called with ``resume=<fresh deep copy>`` and
+        must reconstruct itself from that state (the commit_point
+        contract).  Each incarnation gets its own copy — a restarted body
+        mutates the state it is handed.
+        """
+        if self.rebase is not None:
+            return self.fn(
+                self.facade, *self.args, resume=copy.deepcopy(self.rebase.state)
+            )
         return self.fn(self.facade, *self.args)
 
     def __repr__(self) -> str:
@@ -198,6 +218,17 @@ class HopeSystem:
         that appends to a closure list would observe the extra pass).
         All benchmarks and every paper program satisfy the stronger
         contract; see docs/PERFORMANCE.md.
+    fossil_collect:
+        Reclaim committed state behind the commit frontier (Theorem 6.1:
+        finalized intervals never roll back).  Bounds long-run memory to
+        O(active speculation window): machine history prefixes, retired
+        AIDs, unreachable interned DepSets, effect-log prefixes behind a
+        ``commit_point``, stale shadow replicas, and closed timeline
+        spans are all dropped.  Semantics-neutral — traces are identical
+        with it on or off; see docs/PERFORMANCE.md §4.
+    fossil_interval:
+        Collect after every N machine finalizes (default 64).  Lower =
+        tighter memory, more collection overhead.
     """
 
     def __init__(
@@ -212,6 +243,8 @@ class HopeSystem:
         speculation: bool = True,
         shuffle_ties: bool = False,
         fast_rollback: bool = False,
+        fossil_collect: bool = False,
+        fossil_interval: int = 64,
     ) -> None:
         self.streams = RandomStreams(seed)
         if shuffle_ties:
@@ -242,9 +275,25 @@ class HopeSystem:
         #: deadlock in this mode; that is inherent, not a bug.
         self.speculation = speculation
         self.fast_rollback = fast_rollback
+        self.fossil_collect = fossil_collect
+        if fossil_interval < 1:
+            raise HopeError(f"fossil_interval must be >= 1, got {fossil_interval}")
+        self.fossil_interval = fossil_interval
+        #: Deferred-collection flag: finalize events fire mid-primitive
+        #: (the machine is not quiescent), so listeners only raise this
+        #: flag and the collection runs at the next effect-dispatch or
+        #: delivery boundary.
+        self._fossil_pending = False
+        self._finalizes_since_collect = 0
         self._aid_waiters: dict[str, list] = {}
         self.procs: dict[str, ProcessRuntime] = {}
-        self._handles: dict[str, AidHandle] = {}
+        #: User-space AID handles by key.  Weak values: a handle that user
+        #: code (or a log entry, message payload, or rebase state) still
+        #: references pins its AID against retirement; one nothing holds
+        #: lets the AID go once the machine is done with it.
+        self._handles: "weakref.WeakValueDictionary[str, AidHandle]" = (
+            weakref.WeakValueDictionary()
+        )
         from .aid_task import AidTaskControlPlane, RegistryControlPlane
 
         if aid_mode == "registry":
@@ -308,6 +357,11 @@ class HopeSystem:
         proc.incarnation += 1
         self.machine.forget_process(name)
         self.network.mailbox(name).purge()
+        # Rebase state is volatile memory: a crashed node restarts from
+        # program entry, so the log resets fully (base included) and every
+        # captured commit-point state dies with the incarnation.
+        proc.rebase = None
+        proc.rebase_candidates.clear()
         proc.log.truncate(0)
         # The shadow replica models volatile memory too: a crash loses it.
         if proc.shadow is not None:
@@ -338,9 +392,12 @@ class HopeSystem:
             statuses[aid.status.value] += 1
         return {
             **machine,
-            "aids_pending": statuses["pending"],
-            "aids_affirmed": statuses["affirmed"],
-            "aids_denied": statuses["denied"],
+            # Retired AIDs left the table but still count toward the run's
+            # totals (orphaned pending ones included), so collected and
+            # uncollected runs agree.
+            "aids_pending": statuses["pending"] + machine["aids_retired_pending"],
+            "aids_affirmed": statuses["affirmed"] + machine["aids_retired_affirmed"],
+            "aids_denied": statuses["denied"] + machine["aids_retired_denied"],
             "aid_mode": self.control.name,
             "control_messages": self.control.control_messages,
             "messages_sent": self.network.messages_sent,
@@ -354,6 +411,10 @@ class HopeSystem:
             "shadow_feeds": sum(
                 p.log.shadow_feeds_total for p in self.procs.values()
             ),
+            "fossil_log_dropped": sum(
+                p.log.fossil_dropped_total for p in self.procs.values()
+            ),
+            "heap_compactions": self.sim.heap_compactions,
             "wasted_time": self.timeline.aggregate(Span.WASTED),
             "busy_time": self.timeline.aggregate(Span.BUSY),
         }
@@ -377,7 +438,9 @@ class HopeSystem:
             return
         shadow = proc.shadow
         if shadow is None:
-            shadow = proc.shadow = ShadowCheckpoint(proc.body(None))
+            # A rebuilt replica starts where fresh incarnations do: at the
+            # log base, from the rebase state if one was promoted.
+            shadow = proc.shadow = ShadowCheckpoint(proc.body(None), pos=proc.log.base)
         if shadow.valid:
             shadow.advance(proc.log, checkpoint.log_index)
 
@@ -418,6 +481,79 @@ class HopeSystem:
         return True
 
     # ------------------------------------------------------------------
+    # fossil collection (commit frontier)
+    # ------------------------------------------------------------------
+    def _run_fossil_collection(self) -> None:
+        """One deferred collection pass (see the ``fossil_collect`` doc).
+
+        Runs only at effect-dispatch and delivery boundaries: the machine
+        is between primitives and the simulator between callbacks, so no
+        half-applied transition can be observed.  Purely a memory
+        operation — it schedules nothing, draws no randomness, and leaves
+        the trace untouched, which is what keeps collected and
+        uncollected runs byte-identical.
+        """
+        self._fossil_pending = False
+        self._finalizes_since_collect = 0
+        machine = self.machine
+        for name, proc in self.procs.items():
+            record = machine.processes.get(name)
+            if record is None:
+                continue
+            # Per-process frontier: the oldest still-speculative guess's
+            # checkpoint (log position + virtual time); with no live
+            # speculation everything up to now is committed.
+            frontier_log = len(proc.log)
+            frontier_time = self.sim.now
+            for iv in record.speculative:
+                cp = iv.ps
+                if isinstance(cp, Checkpoint):
+                    frontier_log = min(frontier_log, cp.log_index)
+                    frontier_time = min(frontier_time, cp.time)
+            # Effect-log prefix: promote the newest rebase candidate at or
+            # behind the frontier (and behind any in-flight replay cursor)
+            # and drop the entries it makes unreachable.
+            target = min(frontier_log, proc.log.cursor)
+            best: Optional[RebasePoint] = None
+            for cand in proc.rebase_candidates:
+                if cand.log_index <= target and (
+                    best is None or cand.log_index > best.log_index
+                ):
+                    best = cand
+            if best is not None and best.log_index > proc.log.base:
+                proc.rebase = best
+                proc.rebase_candidates = [
+                    c for c in proc.rebase_candidates if c.log_index > best.log_index
+                ]
+                proc.log.drop_prefix(best.log_index)
+                # A shadow replica parked before the new base can never
+                # catch up (its feed entries are gone); the next guess
+                # rebuilds one from the rebase state instead.
+                if proc.shadow is not None and proc.shadow.pos < proc.log.base:
+                    proc.shadow.invalidate()
+                    proc.shadow = None
+            proc.track.compact_before(frontier_time)
+        machine.fossil_collect(self._pinned_aid_keys())
+
+    def _pinned_aid_keys(self) -> frozenset:
+        """AID keys that must survive retirement even if the machine is
+        done with them: tags of messages still in flight or queued (their
+        delivery resolves tags by key), tags of messages held by live
+        speculative intervals (a rollback requeues them), and every
+        handle user code still reaches (a late ``guess`` looks it up)."""
+        pinned: set = set(self._handles.keys())
+        pinned.update(self.network.pinned_tag_keys())
+        for name, proc in self.procs.items():
+            record = self.machine.processes.get(name)
+            if record is None:
+                continue
+            for iv in record.speculative:
+                for message in iv.meta.get("received", ()):
+                    if not message.dead:
+                        pinned.update(message.tags)
+        return frozenset(pinned)
+
+    # ------------------------------------------------------------------
     # task lifecycle
     # ------------------------------------------------------------------
     def _start_task(self, proc: ProcessRuntime, delay: float) -> None:
@@ -446,6 +582,11 @@ class HopeSystem:
     # effect dispatch
     # ------------------------------------------------------------------
     def _handle_effect(self, task: Task, effect: Effect) -> None:
+        if self._fossil_pending:
+            # Deferred from a finalize listener: here the machine is
+            # between primitives and the simulator between events, so
+            # reclamation cannot observe a half-applied transition.
+            self._run_fossil_collection()
         proc: ProcessRuntime = task.env.context
         if not isinstance(effect, HopeEffect):
             raise HopeError(
@@ -461,7 +602,7 @@ class HopeSystem:
         # collapsing the per-entry events is behaviour-preserving.
         # (log.cursor < len(...) is `log.replaying`, inlined: this guard
         # runs once per live effect and the property call was measurable.)
-        while log.cursor < len(log.entries):
+        while log.cursor - log.base < len(log.entries):
             result = log.feed(effect.kind)
             effect = task.drive(result)
             if effect is None:
@@ -599,6 +740,27 @@ class HopeSystem:
             )
         task.resume_now(None)
 
+    #: Rebase candidates per process are thinned once they exceed this
+    #: (every other one dropped, oldest and newest kept) so a stalled
+    #: frontier cannot make the candidate list itself unbounded.
+    _MAX_REBASE_CANDIDATES = 32
+
+    def _do_commit_point(self, proc, task, effect: CommitPointEffect) -> None:
+        proc.log.append("commit", None)
+        if self.fossil_collect:
+            # Candidate position = log length *after* the commit entry: a
+            # body resumed from this state next yields the effect that
+            # follows the commit_point, i.e. the entry at that position.
+            state = copy.deepcopy(effect.state)
+            proc.rebase_candidates.append(
+                RebasePoint(len(proc.log), state, self.sim.now)
+            )
+            if len(proc.rebase_candidates) > self._MAX_REBASE_CANDIDATES:
+                del proc.rebase_candidates[1::2]
+        if self._tracing:
+            self.tracer.record(self.sim.now, "commit_point", proc.name)
+        task.resume_now(None)
+
     def _do_spawn(self, proc, task, effect: SpawnEffect) -> None:
         if self.machine.process(proc.name).current is not None:
             raise SpeculativeSpawnError(
@@ -620,6 +782,7 @@ class HopeSystem:
         NowEffect: _do_now,
         RandomEffect: _do_random,
         EmitEffect: _do_emit,
+        CommitPointEffect: _do_commit_point,
         SpawnEffect: _do_spawn,
     }
 
@@ -644,6 +807,8 @@ class HopeSystem:
         value: Any,
         bridge: _RecvBridge,
     ) -> None:
+        if self._fossil_pending:
+            self._run_fossil_collection()
         if proc.incarnation != bridge.incarnation:
             return  # stale delivery aimed at a rolled-back incarnation
         task = proc.task
@@ -701,6 +866,13 @@ class HopeSystem:
     def _on_machine_event(self, event: MachineEvent) -> None:
         if isinstance(event, RollbackEvent):
             self._apply_rollback(event)
+        elif self.fossil_collect and isinstance(event, FinalizeEvent):
+            # Finalize is what advances the commit frontier (Eq 21), so it
+            # is the natural collection trigger — but the machine is
+            # mid-primitive here, so only raise the deferred flag.
+            self._finalizes_since_collect += 1
+            if self._finalizes_since_collect >= self.fossil_interval:
+                self._fossil_pending = True
         if self._aid_waiters:
             self._wake_aid_waiters()
 
@@ -751,6 +923,13 @@ class HopeSystem:
             proc.task.kill("rollback")
         proc.done = False
         proc.log.truncate(checkpoint.log_index)
+        if proc.rebase_candidates:
+            # Candidates past the truncation point captured state from the
+            # discarded execution; one exactly at it is still valid (its
+            # state reflects only the surviving prefix).
+            proc.rebase_candidates = [
+                c for c in proc.rebase_candidates if c.log_index <= checkpoint.log_index
+            ]
         # Withdraw speculative outputs produced after the checkpoint
         # (the output-commit discipline: uncommitted outputs die with the
         # speculation that produced them).

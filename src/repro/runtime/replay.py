@@ -73,6 +73,28 @@ class Checkpoint:
         return f"Checkpoint(log_index={self.log_index}, t={self.time:.4f})"
 
 
+class RebasePoint:
+    """A committed restart state: ``body(resume=state)`` reproduces the
+    process as it stood just after log entry ``log_index - 1``.
+
+    Captured by a :class:`~repro.runtime.effects.CommitPointEffect`
+    (``log_index`` is the log length *after* the commit entry, so a
+    resumed incarnation's first yield lines up with ``entries[log_index]``).
+    Once the commit frontier passes ``log_index``, fossil collection
+    promotes the point to be the log's base and drops the prefix.
+    """
+
+    __slots__ = ("log_index", "state", "time")
+
+    def __init__(self, log_index: int, state: Any, time: float) -> None:
+        self.log_index = log_index
+        self.state = state
+        self.time = time
+
+    def __repr__(self) -> str:
+        return f"RebasePoint(log_index={self.log_index}, t={self.time:.4f})"
+
+
 class EffectLog:
     """The per-process effect journal with a replay cursor.
 
@@ -80,10 +102,20 @@ class EffectLog:
     to the checkpoint and the new incarnation consumes entries via
     :meth:`feed` until the cursor reaches the end, at which point the
     process is live again.
+
+    All indices (``cursor``, checkpoint/truncation/replay positions) are
+    **absolute** journal positions, stable across fossil collection.
+    ``base`` counts entries dropped from the front by :meth:`drop_prefix`
+    — physically, ``entries`` holds positions ``[base, base+len(entries))``.
+    A fresh incarnation replays from ``base`` (the engine rebuilds the
+    pre-base state from the promoted :class:`RebasePoint`), so dropping
+    the prefix is only sound once a rebase point at ``base`` exists.
     """
 
     def __init__(self) -> None:
         self.entries: list[LogEntry] = []
+        #: Absolute position of ``entries[0]`` (entries dropped in front).
+        self.base = 0
         self.cursor = 0
         self.replay_count = 0
         self.replayed_entries_total = 0
@@ -92,6 +124,8 @@ class EffectLog:
         self.skipped_entries_total = 0
         #: Entries fed into shadow replicas (checkpoint-maintenance work).
         self.shadow_feeds_total = 0
+        #: Entries dropped from the front by fossil collection.
+        self.fossil_dropped_total = 0
 
     # ------------------------------------------------------------------
     # live side
@@ -100,21 +134,31 @@ class EffectLog:
         self.entries.append(LogEntry(kind, result))
         # Live appends keep the cursor at the tail so ``replaying`` stays
         # False; only begin_replay rewinds it.
-        self.cursor = len(self.entries)
+        self.cursor = self.base + len(self.entries)
 
     def __len__(self) -> int:
-        return len(self.entries)
+        """Absolute journal length (including the dropped prefix)."""
+        return self.base + len(self.entries)
+
+    def entry_at(self, index: int) -> LogEntry:
+        """The entry at absolute position ``index``."""
+        return self.entries[index - self.base]
 
     # ------------------------------------------------------------------
     # replay side
     # ------------------------------------------------------------------
     @property
     def replaying(self) -> bool:
-        return self.cursor < len(self.entries)
+        return self.cursor < self.base + len(self.entries)
 
     def begin_replay(self) -> None:
-        """Reset the cursor for a fresh incarnation."""
-        self.cursor = 0
+        """Reset the cursor for a fresh incarnation.
+
+        The incarnation starts at ``base``: positions below it were
+        fossil-collected, and the engine reconstructs that prefix from
+        the promoted rebase state instead of re-feeding it.
+        """
+        self.cursor = self.base
         if self.entries:
             self.replay_count += 1
 
@@ -122,22 +166,23 @@ class EffectLog:
         """Resume an incarnation whose prefix is vouched for externally.
 
         Used when a :class:`ShadowCheckpoint` is promoted: the replica
-        already consumed ``entries[:index]``, so the cursor starts there
-        and only the remainder (normally nothing — the truncation point
-        IS the checkpoint) is re-fed.
+        already consumed everything below ``index``, so the cursor starts
+        there and only the remainder (normally nothing — the truncation
+        point IS the checkpoint) is re-fed.
         """
-        if index > len(self.entries):
+        if index > len(self) or index < self.base:
             raise HopeError(
-                f"replay start index {index} beyond log length {len(self.entries)}"
+                f"replay start index {index} outside log window "
+                f"[{self.base}, {len(self)}]"
             )
         self.cursor = index
-        self.skipped_entries_total += index
-        if self.cursor < len(self.entries):
+        self.skipped_entries_total += index - self.base
+        if self.cursor < len(self):
             self.replay_count += 1
 
     def feed(self, kind: str) -> Any:
         """Return the logged result for the next effect, checking its kind."""
-        entry = self.entries[self.cursor]
+        entry = self.entries[self.cursor - self.base]
         if entry.kind != kind:
             raise ReplayDivergenceError(
                 f"replay divergence at entry {self.cursor}: process yielded "
@@ -149,19 +194,60 @@ class EffectLog:
         return entry.result
 
     def truncate(self, index: int) -> int:
-        """Drop entries from ``index`` on; returns how many were dropped."""
-        dropped = len(self.entries) - index
+        """Drop entries from absolute position ``index`` on.
+
+        Returns how many were dropped.  ``index == 0`` is a crash-style
+        full reset and also clears the fossil base (the restarted
+        incarnation begins at program entry; any rebase state is volatile
+        and the engine discards it alongside).  A truncation *into* the
+        dropped prefix otherwise is impossible — it would mean a rollback
+        crossed the commit frontier, contradicting Theorem 6.1.
+        """
+        if index == 0:
+            dropped = self.base + len(self.entries)
+            self.entries.clear()
+            self.base = 0
+            self.cursor = 0
+            return dropped
+        if index < self.base:
+            raise HopeError(
+                f"log truncation at {index} crosses the fossil base "
+                f"{self.base} — rollback behind the commit frontier"
+            )
+        dropped = self.base + len(self.entries) - index
         if dropped < 0:
             raise HopeError(
-                f"log truncation index {index} beyond log length {len(self.entries)}"
+                f"log truncation index {index} beyond log length {len(self)}"
             )
-        del self.entries[index:]
+        del self.entries[index - self.base :]
         if self.cursor > index:
             self.cursor = index
         return dropped
 
+    def drop_prefix(self, index: int) -> int:
+        """Fossil-collect entries below absolute position ``index``.
+
+        The caller must hold a :class:`RebasePoint` at exactly ``index``
+        and must not drop past the replay cursor (an in-flight replay
+        still needs those entries).  Returns the number dropped.
+        """
+        if index <= self.base:
+            return 0
+        if index > self.cursor:
+            raise HopeError(
+                f"drop_prefix({index}) past the replay cursor {self.cursor}"
+            )
+        dropped = index - self.base
+        del self.entries[:dropped]
+        self.base = index
+        self.fossil_dropped_total += dropped
+        return dropped
+
     def __repr__(self) -> str:
-        return f"<EffectLog {self.cursor}/{len(self.entries)} replays={self.replay_count}>"
+        return (
+            f"<EffectLog {self.cursor}/{len(self)} base={self.base} "
+            f"replays={self.replay_count}>"
+        )
 
 
 class ShadowCheckpoint:
@@ -187,10 +273,11 @@ class ShadowCheckpoint:
 
     __slots__ = ("gen", "pos", "pending_effect", "valid")
 
-    def __init__(self, gen) -> None:
+    def __init__(self, gen, pos: int = 0) -> None:
         self.gen = gen
-        #: Number of log entries the replica has consumed.
-        self.pos = 0
+        #: Absolute log position the replica has consumed up to.  A
+        #: replica built from a rebase point starts at the log's base.
+        self.pos = pos
         #: The effect the replica is suspended on (yielded, not yet fed).
         self.pending_effect: Any = None
         self.valid = True
@@ -202,14 +289,21 @@ class ShadowCheckpoint:
         the replica yielding a different effect kind than the log, or
         finishing early.  Feeds are charged to ``log.shadow_feeds_total``.
         """
-        if not self.valid or target > len(log.entries) or target < self.pos:
+        if (
+            not self.valid
+            or target > len(log)
+            or target < self.pos
+            or self.pos < log.base
+        ):
+            # pos < base: fossil collection dropped entries this replica
+            # would still need to feed — it can never catch up again.
             self.invalidate()
             return False
         try:
             if self.pending_effect is None:
                 self.pending_effect = self.gen.send(None)
             while self.pos < target:
-                entry = log.entries[self.pos]
+                entry = log.entry_at(self.pos)
                 if entry.kind != getattr(self.pending_effect, "kind", None):
                     self.invalidate()
                     return False

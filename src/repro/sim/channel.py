@@ -245,6 +245,11 @@ class Network:
         self._mailboxes: dict[str, Mailbox] = {}
         self.messages_sent = 0
         self.tag_count_total = 0
+        #: Tagged messages scheduled but not yet delivered, by msg_id —
+        #: their tag keys must stay resolvable (fossil collection pins
+        #: them).  Untagged messages never enter; retracted ones are
+        #: swept lazily by :meth:`pinned_tag_keys`.
+        self._inflight_tagged: dict[int, Message] = {}
 
     def register(self, name: str) -> Mailbox:
         """Create (or fetch) the mailbox for endpoint ``name``."""
@@ -284,10 +289,39 @@ class Network:
             if latency_override is not None
             else self.latency.sample(src, dst)
         )
-        event = self.sim.schedule(delay, box.put, message, label=f"deliver:{src}->{dst}")
+        if message.tags:
+            self._inflight_tagged[message.msg_id] = message
+            event = self.sim.schedule(
+                delay, self._deliver_tagged, box, message, label=f"deliver:{src}->{dst}"
+            )
+        else:
+            event = self.sim.schedule(delay, box.put, message, label=f"deliver:{src}->{dst}")
         self.messages_sent += 1
         self.tag_count_total += len(message.tags)
         return Delivery(message, event)
+
+    def _deliver_tagged(self, box: Mailbox, message: Message) -> None:
+        self._inflight_tagged.pop(message.msg_id, None)
+        box.put(message)
+
+    def pinned_tag_keys(self) -> set:
+        """Union of AID tag keys the network still needs resolvable:
+        tagged messages in flight plus those queued in mailboxes (either
+        may still reach :meth:`repro.core.machine.Machine.resolve_tag_keys`
+        at a future delivery)."""
+        dead = [
+            mid for mid, message in self._inflight_tagged.items() if message.dead
+        ]
+        for mid in dead:
+            del self._inflight_tagged[mid]
+        pinned: set = set()
+        for message in self._inflight_tagged.values():
+            pinned.update(message.tags)
+        for box in self._mailboxes.values():
+            for message in box._queue:
+                if message.tags and not message.dead:
+                    pinned.update(message.tags)
+        return pinned
 
     def endpoints(self) -> list[str]:
         return sorted(self._mailboxes)

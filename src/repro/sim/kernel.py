@@ -80,6 +80,7 @@ class ScheduledEvent:
         self.cancelled = True
         if self.sim is not None:
             self.sim._live -= 1
+            self.sim._maybe_compact()
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         return (self.time, self.priority, self.seq) < (
@@ -118,6 +119,9 @@ class Simulator:
         self._events_processed = 0
         self._running = False
         self._stopped = False
+        #: Times the heap was rebuilt to evict cancelled entries (see
+        #: :meth:`_maybe_compact`).
+        self.heap_compactions = 0
         #: optional per-event priority source; permutes same-time orderings
         #: (used by the schedule-exploring model checker)
         self._tie_breaker = tie_breaker
@@ -241,6 +245,29 @@ class Simulator:
         """Number of not-yet-cancelled events still in the heap.  O(1):
         maintained by schedule/cancel/pop rather than scanning the heap."""
         return self._live
+
+    #: Heaps smaller than this are never compacted — rebuilding a tiny
+    #: heap costs more than lazily popping its cancelled entries.
+    _COMPACT_MIN = 64
+
+    def _maybe_compact(self) -> None:
+        """Evict cancelled events when they outnumber live ones.
+
+        ``peek_time``/``run`` only discard cancelled events that reach the
+        heap *head*; a cancel-heavy workload (rollback retracting batches
+        of in-flight sends and timeouts) can leave the heap dominated by
+        dead entries buried mid-heap, making every push/pop O(log total)
+        instead of O(log live).  Rebuilding keeps (time, priority, seq)
+        ordering intact, so determinism is unaffected.
+        """
+        heap = self._heap
+        if len(heap) < self._COMPACT_MIN:
+            return
+        if (len(heap) - self._live) * 2 <= len(heap):
+            return
+        self._heap = [e for e in heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self.heap_compactions += 1
 
     def peek_time(self) -> Optional[float]:
         """Virtual time of the next live event, or None if idle.

@@ -45,6 +45,30 @@ class ProcessTimeline:
         self.name = name
         self.spans: list[Span] = []
         self._open: Optional[Span] = None
+        #: Durations folded out of :attr:`spans` by :meth:`compact_before`,
+        #: keyed by span kind.  ``total`` adds these back in.
+        self._base: dict[str, float] = {}
+
+    def compact_before(self, cutoff: float) -> int:
+        """Fold spans that end at or before ``cutoff`` into base totals.
+
+        Only sound for ``cutoff`` values no later than any future
+        ``reclassify_since`` start time — i.e. the commit frontier:
+        rollback can only reclassify work done since a still-speculative
+        guess, and the frontier is at or before every such guess.
+        Returns the number of spans dropped.
+        """
+        dropped = 0
+        kept: list[Span] = []
+        for span in self.spans:
+            if span.end is not None and span.end <= cutoff:
+                self._base[span.kind] = self._base.get(span.kind, 0.0) + span.duration
+                dropped += 1
+            else:
+                kept.append(span)
+        if dropped:
+            self.spans = kept
+        return dropped
 
     def mark(self, kind: str, now: float) -> None:
         """Close the open span at ``now`` and open a new one of ``kind``."""
@@ -88,7 +112,7 @@ class ProcessTimeline:
 
     def total(self, kind: str, now: Optional[float] = None) -> float:
         """Total duration of spans of ``kind`` (open span measured to ``now``)."""
-        out = 0.0
+        out = self._base.get(kind, 0.0)
         for span in self.spans:
             if span.kind != kind:
                 continue
@@ -115,6 +139,10 @@ class Timeline:
     def close_all(self, now: float) -> None:
         for tl in self._processes.values():
             tl.close(now)
+
+    def compact_before(self, cutoff: float) -> int:
+        """Fold committed spans into base totals across all processes."""
+        return sum(tl.compact_before(cutoff) for tl in self._processes.values())
 
     def totals(self, kind: str) -> dict[str, float]:
         return {name: tl.total(kind) for name, tl in self._processes.items()}

@@ -1,0 +1,213 @@
+"""Fossil collection at the runtime level: a pure optimization.
+
+The property under test (ISSUE satellite): a fossil-collected run and an
+uncollected run of the *same* program, seed, and latency produce
+byte-identical traces and identical Theorem 5.2/6.1 outcomes — the same
+AIDs affirmed/denied, the same rollbacks, the same committed outputs —
+on randomized guess/affirm/deny schedules.  Collection may only change
+memory accounting (shorter histories, retired AIDs, dropped log
+prefixes), never behaviour.
+"""
+
+import pytest
+
+from repro.runtime.engine import HopeSystem
+from repro.sim import ConstantLatency, Tracer
+
+
+# ---------------------------------------------------------------- workload
+def worker(p, rounds, resume=None):
+    """Steady-state loop: guess each round, commit-point after it."""
+    state = resume if resume is not None else {"round": 0, "acc": 0}
+    while state["round"] < rounds:
+        a = yield p.aid_init(f"r{state['round']}")
+        yield p.send("judge", a)
+        if (yield p.guess(a)):
+            yield p.compute(1.0)        # optimistic path
+            state["acc"] += 3
+        else:
+            yield p.compute(2.0)        # pessimistic path after denial
+            state["acc"] -= 1
+        yield p.emit(("round", state["round"], state["acc"]))
+        state["round"] += 1
+        yield p.commit_point(state)
+    return state["acc"]
+
+
+def judge(p, rounds, deny_rate, resume=None):
+    """Randomly affirms or denies each round's assumption (seeded).
+
+    Commit-points after every verdict: without that, the judge's own
+    effect log would keep each round's ReceivedMessage — and with it the
+    AidHandle payload — alive forever, pinning every AID against
+    retirement (the weak-handle pin sees the log entry as a user
+    reference, exactly as designed).
+    """
+    state = resume if resume is not None else {"seen": 0}
+    while state["seen"] < rounds:
+        msg = yield p.recv()
+        yield p.compute(0.3)
+        if (yield p.random()) < deny_rate:
+            yield p.deny(msg.payload)
+        else:
+            yield p.affirm(msg.payload)
+        state["seen"] += 1
+        yield p.commit_point(state)
+    return "judged"
+
+
+def _run(seed, fossil, fast_rollback, rounds=40, deny_rate=0.3):
+    tracer = Tracer()
+    system = HopeSystem(
+        seed=seed,
+        latency=ConstantLatency(1.0),
+        trace=tracer,
+        fossil_collect=fossil,
+        fossil_interval=8,
+        fast_rollback=fast_rollback,
+    )
+    system.spawn("judge", judge, rounds, deny_rate)
+    system.spawn("worker", worker, rounds)
+    final = system.run()
+    system.machine.check_invariants()
+    return system, tracer, final
+
+
+_OUTCOME_KEYS = (
+    "guesses",
+    "rollbacks",
+    "aids_affirmed",
+    "aids_denied",
+    "aids_pending",
+    "messages_sent",
+)
+
+
+# ----------------------------------------------------------------- property
+class TestCollectedEqualsUncollected:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 7])
+    @pytest.mark.parametrize("fast_rollback", [False, True])
+    def test_identical_traces_and_outcomes(self, seed, fast_rollback):
+        base, base_tr, t_base = _run(seed, fossil=False, fast_rollback=fast_rollback)
+        coll, coll_tr, t_coll = _run(seed, fossil=True, fast_rollback=fast_rollback)
+        # byte-identical traces: collection draws no randomness and
+        # schedules nothing
+        assert base_tr.fingerprint() == coll_tr.fingerprint()
+        assert t_base == t_coll
+        assert base.result_of("worker") == coll.result_of("worker")
+        assert base.result_of("judge") == coll.result_of("judge")
+        assert base.committed_outputs("worker") == coll.committed_outputs("worker")
+        # Theorem 5.2/6.1 outcomes: same resolutions, same rollbacks
+        s_base, s_coll = base.stats(), coll.stats()
+        for key in _OUTCOME_KEYS:
+            assert s_base[key] == s_coll[key], key
+        assert s_base["aids_denied"] > 0       # the schedule really denied
+        assert s_coll["fossil_collections"] >= 1
+
+    def test_collected_run_actually_reclaims(self):
+        base, _, _ = _run(seed=3, fossil=False, fast_rollback=False)
+        coll, _, _ = _run(seed=3, fossil=True, fast_rollback=False)
+        s = coll.stats()
+        assert s["fossil_history_dropped"] > 0
+        assert s["fossil_aids_retired"] > 0
+        assert s["fossil_log_dropped"] > 0
+        # bounded tables: strictly smaller than the uncollected run's
+        assert len(coll.machine.process("worker").history) < len(
+            base.machine.process("worker").history
+        )
+        assert len(coll.machine.aids) < len(base.machine.aids)
+        assert len(coll.procs["worker"].log.entries) < len(
+            base.procs["worker"].log.entries
+        )
+        assert coll.procs["worker"].log.base > 0
+
+    def test_finalized_intervals_stay_definite(self):
+        """Theorem 6.1 end-to-end: after a collected run completes, no
+        retained interval is speculative and the worker is definite."""
+        coll, _, _ = _run(seed=5, fossil=True, fast_rollback=False)
+        assert coll.machine.is_definite("worker")
+        for record in coll.machine.processes.values():
+            assert not record.speculative
+
+
+# ------------------------------------------------------------- commit_point
+class TestCommitPointSemantics:
+    def test_restart_resumes_from_rebase_state(self):
+        """Once the frontier passes a commit point, a denial replays from
+        the rebase snapshot instead of program entry."""
+        coll, _, _ = _run(seed=2, fossil=True, fast_rollback=False, rounds=60)
+        base, _, _ = _run(seed=2, fossil=False, fast_rollback=False, rounds=60)
+        s_coll, s_base = coll.stats(), base.stats()
+        assert s_coll["rollbacks"] == s_base["rollbacks"] > 0
+        # identical results from far fewer replayed effects
+        assert coll.result_of("worker") == base.result_of("worker")
+        assert s_coll["replayed_effects"] < s_base["replayed_effects"]
+
+    def test_commit_point_is_noop_without_fossil_collect(self):
+        base, _, _ = _run(seed=1, fossil=False, fast_rollback=False, rounds=10)
+        proc = base.procs["worker"]
+        assert proc.rebase is None
+        assert proc.rebase_candidates == []
+        assert proc.log.base == 0
+
+    def test_crash_clears_rebase_state(self):
+        coll, _, _ = _run(seed=1, fossil=True, fast_rollback=False, rounds=40)
+        proc = coll.procs["worker"]
+        assert proc.rebase is not None
+        coll.crash_process("worker")
+        assert proc.rebase is None
+        assert proc.rebase_candidates == []
+        assert proc.log.base == 0 and len(proc.log) == 0
+
+    def test_rebase_state_is_isolated_per_restart(self):
+        """Restarts get a deep copy: mutations by one incarnation must
+        not leak into the parked rebase snapshot."""
+        coll, _, _ = _run(seed=4, fossil=True, fast_rollback=False, rounds=60)
+        proc = coll.procs["worker"]
+        assert proc.rebase is not None
+        snapshot_round = proc.rebase.state["round"]
+        # the finished incarnation ran past the snapshot without
+        # mutating it
+        assert proc.done
+        assert proc.result == coll.result_of("worker")
+        assert proc.rebase.state["round"] == snapshot_round < 60
+
+
+# ---------------------------------------------------------------- pinning
+class TestHandlePinning:
+    def test_held_handle_blocks_retirement(self):
+        """A user-reachable AidHandle pins its AID: by-key lookup must
+        keep working while anything can still name the key."""
+        held = []
+
+        def keeper(p):
+            a = yield p.aid_init("kept")
+            held.append(a)
+            yield p.send("judge", a)
+            if (yield p.guess(a)):
+                yield p.compute(1.0)
+            # churn enough finalizes to trigger collection
+            for i in range(20):
+                b = yield p.aid_init(f"churn{i}")
+                yield p.send("judge", b)
+                if (yield p.guess(b)):
+                    yield p.compute(0.1)
+                yield p.commit_point(i)
+            return "ok"
+
+        def affirm_all(p):
+            for _ in range(21):
+                msg = yield p.recv()
+                yield p.affirm(msg.payload)
+            return "done"
+
+        system = HopeSystem(
+            latency=ConstantLatency(1.0), fossil_collect=True, fossil_interval=4
+        )
+        system.spawn("judge", affirm_all)
+        system.spawn("keeper", keeper)
+        system.run()
+        assert system.stats()["fossil_collections"] >= 1
+        # the held handle's AID survived every pass
+        assert system.machine.aid(held[0].key).affirmed
+        system.machine.check_invariants()

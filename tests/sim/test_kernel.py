@@ -202,3 +202,62 @@ def test_cancel_after_pop_is_harmless():
     sim.run(until=1.0)
     e.cancel()  # already executed: must not decrement again
     assert sim.pending_events == 1
+
+
+# ----------------------------------------------------------------------
+# heap compaction (cancel-heavy workloads)
+# ----------------------------------------------------------------------
+def test_heap_compaction_evicts_cancelled_majority():
+    """When cancelled events outnumber live ones, the heap is rebuilt so
+    push/pop stay O(log live) instead of O(log total)."""
+    sim = Simulator()
+    events = [sim.schedule(float(i), lambda: None) for i in range(200)]
+    keep = events[::4]
+    for e in events:
+        if e not in keep:
+            e.cancel()
+    assert sim.heap_compactions >= 1
+    assert sim.pending_events == len(keep)
+    # The compaction threshold keeps cancelled entries a minority.
+    assert len(sim._heap) <= 2 * sim.pending_events + 1
+
+
+def test_heap_compaction_preserves_firing_order():
+    sim = Simulator()
+    fired = []
+    events = []
+    for i in range(300):
+        events.append(sim.schedule(float(i % 7), fired.append, i))
+    for i, e in enumerate(events):
+        if i % 3:
+            e.cancel()
+    expected = sorted(
+        (i for i in range(300) if i % 3 == 0),
+        key=lambda i: (float(i % 7), i),
+    )
+    sim.run()
+    assert fired == expected
+
+
+def test_small_heaps_are_never_compacted():
+    """Rebuilding a tiny heap costs more than lazy pops; below the size
+    floor cancellation must leave the heap alone."""
+    sim = Simulator()
+    events = [sim.schedule(float(i), lambda: None) for i in range(20)]
+    for e in events:
+        e.cancel()
+    assert sim.heap_compactions == 0
+
+
+def test_compaction_counter_in_steady_cancel_churn():
+    """Repeated schedule/cancel churn stays bounded: the heap never grows
+    past ~2x the live population."""
+    sim = Simulator()
+    live = []
+    for round_ in range(50):
+        for _ in range(10):
+            live.append(sim.schedule(1.0, lambda: None))
+        while len(live) > 5:
+            live.pop(0).cancel()
+    assert len(sim._heap) <= max(2 * sim.pending_events, 64)
+    assert sim.heap_compactions >= 1
