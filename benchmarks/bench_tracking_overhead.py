@@ -57,8 +57,8 @@ def _bare_pingpong(n: int) -> dict:
     return {"makespan": makespan, "wall_s": wall, "events": sim.events_processed}
 
 
-def _hope_pingpong(n: int, speculative: bool) -> dict:
-    system = HopeSystem(latency=ConstantLatency(1.0))
+def _hope_pingpong(n: int, speculative: bool, metrics=None) -> dict:
+    system = HopeSystem(latency=ConstantLatency(1.0), metrics=metrics)
 
     def side(p, me, peer, starts):
         if starts and speculative:

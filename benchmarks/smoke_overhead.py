@@ -1,10 +1,12 @@
 """CI smoke: fail if HOPE-vs-bare wall overhead regresses past the budget.
 
-Three checks: the CASCADE partial-replay property (deterministic — fast
+Four checks: the CASCADE partial-replay property (deterministic — fast
 rollback must replay fewer entries than full replay at depth 32), the
 FOSSIL memory budget (peak RSS growth of a fossil-collected 100k-event
-run must stay within ``max_fossil_rss_delta_kib``), then the TRACK
-wall-clock budget.  The TRACK half runs the ping-pong point at
+run must stay within ``max_fossil_rss_delta_kib``), the METRICS budget
+(traces byte-identical with metrics off/null/metered, and the metered
+ping-pong within ``max_metrics_overhead_ratio`` of the plain one), then
+the TRACK wall-clock budget.  The TRACK half runs the ping-pong point at
 the message count stored in
 ``overhead_threshold.json`` and compares the measured
 ``hope_wall / bare_wall`` ratio against ``max_overhead_ratio``.  Wall
@@ -83,12 +85,76 @@ def _check_memory(budget: dict) -> int:
     return 0
 
 
+def _check_metrics(budget: dict) -> int:
+    """METRICS half: observability must be free when off, cheap when on.
+
+    Disabled path: a run handed a ``NullRegistry`` subscribes no machine
+    listener, so its trace must be byte-identical to a metrics-off run —
+    and so must a *metered* run, whose listener only reads.  Checked on a
+    rollback-heavy call-streaming workload via trace fingerprints.
+    Enabled path: wall time of the speculative ping-pong with a live
+    registry vs the default (NullRegistry) must stay under
+    ``max_metrics_overhead_ratio``; min-of-repeats and best-of-attempts,
+    like the TRACK check.
+    """
+    from repro.apps.call_streaming import run_optimistic
+    from repro.bench import probabilistic_config
+    from repro.obs import MetricsRegistry, NullRegistry
+    from repro.sim import Tracer
+
+    config = probabilistic_config(n_reports=8, success_probability=0.5)
+    t_off, t_null, t_on = Tracer(), Tracer(), Tracer()
+    run_optimistic(config, trace=t_off)
+    run_optimistic(config, trace=t_null, metrics=NullRegistry())
+    run_optimistic(config, trace=t_on, metrics=MetricsRegistry())
+    if t_off.format() != t_null.format() or t_off.fingerprint() != t_null.fingerprint():
+        print("FAIL: NullRegistry run's trace differs from the metrics-off run")
+        return 1
+    if t_off.fingerprint() != t_on.fingerprint():
+        print("FAIL: metered run's trace differs from the metrics-off run")
+        return 1
+    print(f"metrics: traces byte-identical across off/null/metered runs "
+          f"({len(t_off)} records)")
+
+    bench = _load_bench("bench_tracking_overhead")
+    n = budget["messages"]
+    repeats = budget.get("repeats", 5)
+    limit = budget["max_metrics_overhead_ratio"]
+    best = None
+    for attempt in range(budget.get("attempts", 3)):
+        plain_s = min(
+            bench._hope_pingpong(n, speculative=True)["wall_s"]
+            for _ in range(repeats)
+        )
+        metered_s = min(
+            bench._hope_pingpong(n, speculative=True, metrics=MetricsRegistry())[
+                "wall_s"
+            ]
+            for _ in range(repeats)
+        )
+        ratio = metered_s / plain_s
+        best = ratio if best is None else min(best, ratio)
+        print(
+            f"metrics attempt {attempt + 1}: metered {1000 * metered_s:.2f} ms / "
+            f"plain {1000 * plain_s:.2f} ms = {ratio:.2f} (budget {limit})"
+        )
+        if best <= limit:
+            break
+    if best is None or best > limit:
+        print(f"FAIL: metrics overhead ratio {best:.2f} exceeds budget {limit}")
+        return 1
+    print(f"OK: metrics overhead ratio {best:.2f} within budget {limit}")
+    return 0
+
+
 def main() -> int:
     with open(os.path.join(HERE, "overhead_threshold.json"), encoding="utf-8") as fh:
         budget = json.load(fh)
     if _check_cascade():
         return 1
     if _check_memory(budget):
+        return 1
+    if _check_metrics(budget):
         return 1
     bench = _load_bench("bench_tracking_overhead")
     n = budget["messages"]

@@ -36,6 +36,7 @@ from .core import (
     Machine,
     ResolutionConflictError,
 )
+from .obs import MetricsRegistry, NullRegistry, SpanCollector
 from .runtime import HopeProcess, HopeSystem
 
 __version__ = "1.0.0"
@@ -48,6 +49,9 @@ __all__ = [
     "AidStatus",
     "Interval",
     "HopeError",
+    "MetricsRegistry",
+    "NullRegistry",
+    "SpanCollector",
     "ResolutionConflictError",
     "__version__",
 ]

@@ -215,7 +215,12 @@ def oneway_gateway(p):
 # ---------------------------------------------------------------------------
 # drivers
 # ---------------------------------------------------------------------------
-def _build_system(config: CallStreamConfig, seed: int, trace: Optional[Tracer]) -> HopeSystem:
+def _build_system(
+    config: CallStreamConfig,
+    seed: int,
+    trace: Optional[Tracer],
+    metrics=None,
+) -> HopeSystem:
     links = LinkLatency(default=ConstantLatency(config.latency))
     for w in range(config.n_warts):
         wart = f"worrywart-{w}"
@@ -229,14 +234,18 @@ def _build_system(config: CallStreamConfig, seed: int, trace: Optional[Tracer]) 
         latency=links,
         rollback_overhead=config.rollback_overhead,
         trace=trace,
+        metrics=metrics,
     )
 
 
 def run_pessimistic(
-    config: CallStreamConfig, seed: int = 0, trace: Optional[Tracer] = None
+    config: CallStreamConfig,
+    seed: int = 0,
+    trace: Optional[Tracer] = None,
+    metrics=None,
 ) -> CallStreamResult:
     """Run the Figure 1 program; returns timing and the server ledger."""
-    system = _build_system(config, seed, trace)
+    system = _build_system(config, seed, trace, metrics)
     system.spawn("server", print_server, config.page_size, config.server_service_time)
     system.spawn("worker", pessimistic_worker, config)
     makespan = system.run()
@@ -244,10 +253,13 @@ def run_pessimistic(
 
 
 def run_optimistic(
-    config: CallStreamConfig, seed: int = 0, trace: Optional[Tracer] = None
+    config: CallStreamConfig,
+    seed: int = 0,
+    trace: Optional[Tracer] = None,
+    metrics=None,
 ) -> CallStreamResult:
     """Run the Figure 2 program; returns timing and the server ledger."""
-    system = _build_system(config, seed, trace)
+    system = _build_system(config, seed, trace, metrics)
     system.spawn("server", print_server, config.page_size, config.server_service_time)
     system.spawn("server_oneway", oneway_gateway)
     for w in range(config.n_warts):
@@ -260,6 +272,10 @@ def run_optimistic(
 
 def _collect(system: HopeSystem, makespan: float) -> CallStreamResult:
     stats = system.stats()
+    if system.metrics.enabled:
+        # Fold run-level gauges (busy/blocked time, cache rates) into the
+        # caller's registry so it is complete without keeping the system.
+        system.metrics_snapshot()
     worker_tl = system.timeline.process("worker")
     return CallStreamResult(
         makespan=makespan,

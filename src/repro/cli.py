@@ -21,6 +21,7 @@ import sys
 from typing import Optional, Sequence
 
 from .lang import CheckError, check_program, compile_program, parse
+from .obs import FORMATS, MetricsRegistry
 from .runtime import HopeSystem
 from .sim import ConstantLatency, Tracer
 
@@ -112,6 +113,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="fossil-collect after every N finalizes (with --fossil-collect)",
     )
+    run.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write speculation metrics and interval spans at the end "
+        "('-' for stdout; see docs/PERFORMANCE.md §5)",
+    )
+    run.add_argument(
+        "--metrics-format",
+        choices=list(FORMATS),
+        default="summary",
+        help="exporter for --metrics-out (default: summary)",
+    )
     return parser
 
 
@@ -151,6 +165,7 @@ def cmd_run(args, out) -> int:
         )
         return 1
     tracer = Tracer() if args.trace else None
+    registry = MetricsRegistry() if args.metrics_out else None
     system = HopeSystem(
         seed=args.seed,
         latency=ConstantLatency(args.latency),
@@ -159,6 +174,7 @@ def cmd_run(args, out) -> int:
         fast_rollback=args.fast_rollback,
         fossil_collect=args.fossil_collect,
         fossil_interval=args.fossil_interval,
+        metrics=registry,
     )
     for spec in args.spawn:
         compiled.spawn(system, spec.instance, spec.process, *spec.args)
@@ -180,6 +196,14 @@ def cmd_run(args, out) -> int:
     if tracer is not None:
         print("\ntrace:", file=out)
         print(tracer.format(), file=out)
+    if registry is not None:
+        rendered = system.export_metrics(args.metrics_format)
+        if args.metrics_out == "-":
+            print(rendered, file=out, end="")
+        else:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(rendered)
+            print(f"metrics: wrote {args.metrics_format} to {args.metrics_out}", file=out)
     return 0
 
 

@@ -1,0 +1,274 @@
+"""Interval-lifecycle spans: one span per speculative interval.
+
+A span opens on :class:`~repro.core.events.GuessEvent` and closes on
+finalize or rollback with a *disposition*, so a run's speculation reads
+like a distributed trace: how long each assumption was in flight, what
+it cost when it died, and — through parent links that follow ``IDO`` —
+how a single deny fanned out into a rollback cascade.
+
+Two kinds of link, mirroring :func:`repro.core.inspect.dependency_graph`
+(whose interval → AID ``depends_on`` edges are exactly what the links
+project onto spans):
+
+* **parent** — the same-process enclosing interval (``Interval.parent``),
+  the Theorem 5.1 IDO-subset chain;
+* **deps** — for each member of the interval's IDO minted by *another*
+  process, a link to the span that originally guessed that AID.  This is
+  how a tagged receive's implicit-guess span hangs off the sender's
+  span, which is what makes a cross-process cascade render as one tree.
+
+The collector is pure bookkeeping over machine events with a
+caller-supplied clock — it works against a bare
+:class:`repro.core.Machine` just as well as inside the runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.events import (
+    FinalizeEvent,
+    GuessEvent,
+    MachineEvent,
+    RollbackEvent,
+)
+
+
+class IntervalSpan:
+    """The lifecycle of one speculative interval."""
+
+    __slots__ = (
+        "serial",
+        "pid",
+        "label",
+        "aid",
+        "deps",
+        "open_time",
+        "close_time",
+        "disposition",
+        "cause",
+        "parent",
+        "children",
+    )
+
+    OPEN = "open"
+    FINALIZED = "finalized"
+    ROLLED_BACK = "rolled_back"
+
+    def __init__(
+        self,
+        serial: int,
+        pid: str,
+        label: str,
+        aid: Optional[str],
+        deps: tuple,
+        open_time: float,
+    ) -> None:
+        self.serial = serial
+        self.pid = pid
+        self.label = label
+        #: Head AID key (None for a merged implicit-guess interval).
+        self.aid = aid
+        #: Sorted AID keys of the interval's IDO at open.
+        self.deps = deps
+        self.open_time = open_time
+        self.close_time: Optional[float] = None
+        self.disposition = self.OPEN
+        #: The denied AID key that killed this span (rollback only).
+        self.cause: Optional[str] = None
+        #: The enclosing span in the cascade tree (see module docstring).
+        self.parent: Optional["IntervalSpan"] = None
+        self.children: list["IntervalSpan"] = []
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.close_time is None:
+            return None
+        return self.close_time - self.open_time
+
+    def as_dict(self) -> dict:
+        """Plain-data view (the JSONL exporter's row)."""
+        return {
+            "type": "span",
+            "serial": self.serial,
+            "pid": self.pid,
+            "interval": self.label,
+            "aid": self.aid,
+            "deps": list(self.deps),
+            "open": self.open_time,
+            "close": self.close_time,
+            "duration": self.duration,
+            "disposition": self.disposition,
+            "cause": self.cause,
+            "parent": self.parent.label if self.parent is not None else None,
+        }
+
+    def __repr__(self) -> str:
+        close = f"{self.close_time:g}" if self.close_time is not None else "…"
+        return (
+            f"<Span {self.label} [{self.open_time:g}, {close}) "
+            f"{self.disposition}>"
+        )
+
+
+class SpanCollector:
+    """Builds :class:`IntervalSpan` trees from machine events.
+
+    ``max_spans`` bounds memory on long runs the way ``Tracer``'s
+    ``max_records`` does: when the bound trips, the oldest *closed* spans
+    are dropped (open spans are still in flight and must survive) and
+    :attr:`truncated` is set.  Feed it either through
+    :meth:`observe` (runtime: the engine supplies sim time) or by
+    subscribing ``lambda e: collector.observe(e, clock())`` to a bare
+    machine.
+    """
+
+    def __init__(self, max_spans: Optional[int] = None) -> None:
+        self._spans: dict[int, IntervalSpan] = {}       # serial -> span
+        self._order: list[IntervalSpan] = []            # open order
+        #: First span to guess each AID key — the link target for other
+        #: processes' IDO references to that AID.
+        self._aid_owner: dict[str, IntervalSpan] = {}
+        self._max_spans = max_spans
+        self.truncated = False
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # event intake
+    # ------------------------------------------------------------------
+    def observe(self, event: MachineEvent, now: float) -> None:
+        if type(event) is GuessEvent:
+            self._open(event, now)
+        elif type(event) is FinalizeEvent:
+            self._close(event.interval.serial, now, IntervalSpan.FINALIZED, None)
+        elif type(event) is RollbackEvent:
+            cause = event.cause.key if event.cause is not None else None
+            for interval in event.discarded:
+                self._close(interval.serial, now, IntervalSpan.ROLLED_BACK, cause)
+
+    def _open(self, event: GuessEvent, now: float) -> None:
+        interval = event.interval
+        span = IntervalSpan(
+            serial=interval.serial,
+            pid=interval.pid,
+            label=interval.label,
+            aid=interval.aid.key if interval.aid is not None else None,
+            deps=tuple(sorted(a.key for a in interval.ido)),
+            open_time=now,
+        )
+        # Same-process chain first (Theorem 5.1's nesting) ...
+        if interval.parent is not None:
+            span.parent = self._spans.get(interval.parent.serial)
+        # ... else hang off the span that minted one of the inherited
+        # assumptions — the IDO link that stitches cascades across
+        # processes.  Deterministic: first owner in sorted-dep order.
+        if span.parent is None:
+            for key in span.deps:
+                owner = self._aid_owner.get(key)
+                if owner is not None and owner is not span:
+                    span.parent = owner
+                    break
+        if span.parent is not None:
+            span.parent.children.append(span)
+        if span.aid is not None:
+            self._aid_owner.setdefault(span.aid, span)
+        self._spans[span.serial] = span
+        self._order.append(span)
+        if self._max_spans is not None and len(self._order) > self._max_spans:
+            self._evict()
+
+    def discard(self, intervals, now: float, cause: Optional[str] = None) -> None:
+        """Close spans for intervals discarded outside a RollbackEvent
+        (a crash forgets speculative intervals without emitting one)."""
+        for interval in intervals:
+            self._close(interval.serial, now, IntervalSpan.ROLLED_BACK, cause)
+
+    def _close(
+        self, serial: int, now: float, disposition: str, cause: Optional[str]
+    ) -> None:
+        span = self._spans.get(serial)
+        if span is None or span.disposition is not IntervalSpan.OPEN:
+            return
+        span.close_time = now
+        span.disposition = disposition
+        span.cause = cause
+
+    def _evict(self) -> None:
+        """Drop oldest closed spans until back under the bound."""
+        keep: list[IntervalSpan] = []
+        excess = len(self._order) - self._max_spans
+        for span in self._order:
+            if excess > 0 and span.disposition is not IntervalSpan.OPEN:
+                excess -= 1
+                self.dropped += 1
+                self.truncated = True
+                del self._spans[span.serial]
+                if span.parent is not None and span in span.parent.children:
+                    span.parent.children.remove(span)
+                for child in span.children:
+                    child.parent = None
+                if self._aid_owner.get(span.aid) is span:
+                    del self._aid_owner[span.aid]
+            else:
+                keep.append(span)
+        self._order = keep
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def spans(self) -> list[IntervalSpan]:
+        """All retained spans, in open order."""
+        return list(self._order)
+
+    def get(self, serial: int) -> Optional[IntervalSpan]:
+        return self._spans.get(serial)
+
+    def open_spans(self) -> list[IntervalSpan]:
+        return [s for s in self._order if s.disposition is IntervalSpan.OPEN]
+
+    def roots(self) -> list[IntervalSpan]:
+        return [s for s in self._order if s.parent is None]
+
+    def cascade_of(self, aid_key: str) -> list[IntervalSpan]:
+        """Every span a deny of ``aid_key`` actually killed."""
+        return [
+            s
+            for s in self._order
+            if s.disposition is IntervalSpan.ROLLED_BACK and s.cause == aid_key
+        ]
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    _GLYPHS = {
+        IntervalSpan.OPEN: "?",
+        IntervalSpan.FINALIZED: "✓",
+        IntervalSpan.ROLLED_BACK: "✗",
+    }
+
+    def format_tree(self) -> str:
+        """Indented span tree, one line per span::
+
+            ✓ worker/I1(PartPage-0) [1.0, 14.5) finalized
+              ✗ server/I2(recv) [3.0, 9.0) rolled_back cause=Order-0
+        """
+        lines: list[str] = []
+
+        def emit(span: IntervalSpan, depth: int) -> None:
+            close = f"{span.close_time:g}" if span.close_time is not None else "…"
+            extra = f" cause={span.cause}" if span.cause is not None else ""
+            lines.append(
+                f"{'  ' * depth}{self._GLYPHS[span.disposition]} {span.label} "
+                f"[{span.open_time:g}, {close}) {span.disposition}{extra}"
+            )
+            for child in span.children:
+                emit(child, depth + 1)
+
+        for root in self.roots():
+            emit(root, 0)
+        if self.truncated:
+            lines.append(f"… {self.dropped} older span(s) dropped (max_spans)")
+        return "\n".join(lines)

@@ -50,6 +50,7 @@ from ..sim import (
     Timeline,
     Tracer,
 )
+from ..obs import MetricsRegistry, NullRegistry, SpanCollector, SpeculationMetrics
 from ..sim.channel import Message
 from ..sim.process import Effect
 from .api import AidHandle, AidRef, HopeProcess, aid_key
@@ -187,6 +188,11 @@ class _RecvBridge:
             fn()
 
 
+#: Shared disabled registry: hands out no-op instruments, so one object
+#: serves every unmetered system (the NullTracer sharing idiom).
+_NULL_REGISTRY = NullRegistry()
+
+
 class HopeSystem:
     """A complete HOPE world: spawn processes, run, inspect outcomes.
 
@@ -229,6 +235,18 @@ class HopeSystem:
     fossil_interval:
         Collect after every N machine finalizes (default 64).  Lower =
         tighter memory, more collection overhead.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry`.  When given, the
+        engine feeds the standard speculation instrument set
+        (:class:`repro.obs.SpeculationMetrics`) and builds per-interval
+        lifecycle spans (:attr:`spans`) from machine events — guesses,
+        rollback cascades, commit latency, wasted vs. useful time,
+        fossil reclaim, cache hit rate.  Export with
+        :mod:`repro.obs.export` after :meth:`metrics_snapshot`.  The
+        default is a shared :class:`repro.obs.NullRegistry`: no listener
+        is subscribed and every metered branch is skipped, so the
+        disabled path costs nothing (the ``NullTracer`` contract);
+        traces are byte-identical with metrics on or off.
     """
 
     def __init__(
@@ -245,6 +263,7 @@ class HopeSystem:
         fast_rollback: bool = False,
         fossil_collect: bool = False,
         fossil_interval: int = 64,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.streams = RandomStreams(seed)
         if shuffle_ties:
@@ -302,6 +321,21 @@ class HopeSystem:
             self.control = AidTaskControlPlane(self, control_latency)
         else:
             raise HopeError(f"unknown aid_mode {aid_mode!r}")
+        # Observability: with a real registry, subscribe the metrics and
+        # span collectors as extra machine listeners; with the default
+        # NullRegistry subscribe nothing at all, so the disabled path is
+        # exactly the pre-metrics hot path (the NullTracer pattern).
+        self.metrics = metrics if metrics is not None else _NULL_REGISTRY
+        self._metered = self.metrics.enabled
+        if self._metered:
+            self.spec_metrics: Optional[SpeculationMetrics] = SpeculationMetrics(
+                self.metrics
+            )
+            self.spans: Optional[SpanCollector] = SpanCollector()
+            self.machine.subscribe(self._observe_machine_event)
+        else:
+            self.spec_metrics = None
+            self.spans = None
 
     # ------------------------------------------------------------------
     # public API
@@ -355,7 +389,12 @@ class HopeSystem:
             proc.task.kill("crash")
         proc.crashed = True
         proc.incarnation += 1
-        self.machine.forget_process(name)
+        forgotten = self.machine.forget_process(name)
+        if self._metered:
+            # A crash discards speculation without a RollbackEvent; keep
+            # the open-guess table and span tree honest about it.
+            self.spec_metrics.forget_intervals(forgotten)
+            self.spans.discard(forgotten, self.sim.now)
         self.network.mailbox(name).purge()
         # Rebase state is volatile memory: a crashed node restarts from
         # program entry, so the log resets fully (base included) and every
@@ -422,6 +461,49 @@ class HopeSystem:
     def pending_aids(self) -> list[AssumptionId]:
         """AIDs never affirmed or denied — a smell for stuck programs."""
         return [a for a in self.machine.aids.values() if a.pending]
+
+    # ------------------------------------------------------------------
+    # observability (repro.obs)
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> MetricsRegistry:
+        """Refresh the point-in-time gauges and return the registry.
+
+        The event-fed counters and histograms are always current; this
+        fills in the quantities only known by sampling — timeline busy /
+        blocked totals, cache hit counts, message and event counts — so
+        an export taken right after reflects the whole run.  Raises on an
+        unmetered system (there is nothing to snapshot into).
+        """
+        if not self._metered:
+            raise HopeError(
+                "metrics are disabled — construct HopeSystem(metrics=MetricsRegistry())"
+            )
+        spec = self.spec_metrics
+        spec.busy_time.set(self.timeline.aggregate(Span.BUSY))
+        spec.blocked_time.set(self.timeline.aggregate(Span.BLOCKED))
+        machine_stats = self.machine.stats
+        spec.resolve_cache_hits.set(machine_stats["resolve_cache_hits"])
+        spec.resolve_cache_misses.set(machine_stats["resolve_cache_misses"])
+        spec.messages_sent.set(self.network.messages_sent)
+        spec.sim_events.set(self.sim.events_processed)
+        return self.metrics
+
+    def export_metrics(self, fmt: str = "summary") -> str:
+        """Snapshot and render the metrics in one of
+        :data:`repro.obs.export.FORMATS` (what the CLI's
+        ``--metrics-out`` writes)."""
+        from ..obs.export import render
+
+        self.metrics_snapshot()
+        return render(fmt, self.metrics, spans=self.spans, spec=self.spec_metrics)
+
+    def dependency_dot(self) -> str:
+        """Graphviz source of the live dependency graph — delegates to
+        :func:`repro.core.inspect.to_dot`, the same bipartite view the
+        span tree's IDO links project onto."""
+        from ..core.inspect import to_dot
+
+        return to_dot(self.machine)
 
     # ------------------------------------------------------------------
     # shadow checkpoints (fast rollback)
@@ -533,7 +615,14 @@ class HopeSystem:
                     proc.shadow.invalidate()
                     proc.shadow = None
             proc.track.compact_before(frontier_time)
-        machine.fossil_collect(self._pinned_aid_keys())
+        fossil_stats = machine.fossil_collect(self._pinned_aid_keys())
+        if self._metered:
+            spec = self.spec_metrics
+            spec.fossil_collections.inc()
+            spec.fossil_history_dropped.inc(fossil_stats.history_dropped)
+            spec.fossil_intervals_dropped.inc(fossil_stats.intervals_dropped)
+            spec.fossil_aids_retired.inc(fossil_stats.aids_retired)
+            spec.fossil_depsets_dropped.inc(fossil_stats.depsets_dropped)
 
     def _pinned_aid_keys(self) -> frozenset:
         """AID keys that must survive retirement even if the machine is
@@ -866,15 +955,34 @@ class HopeSystem:
     def _on_machine_event(self, event: MachineEvent) -> None:
         if isinstance(event, RollbackEvent):
             self._apply_rollback(event)
-        elif self.fossil_collect and isinstance(event, FinalizeEvent):
-            # Finalize is what advances the commit frontier (Eq 21), so it
-            # is the natural collection trigger — but the machine is
-            # mid-primitive here, so only raise the deferred flag.
-            self._finalizes_since_collect += 1
-            if self._finalizes_since_collect >= self.fossil_interval:
-                self._fossil_pending = True
+        elif isinstance(event, FinalizeEvent):
+            if self._tracing:
+                interval = event.interval
+                self.tracer.record(
+                    self.sim.now,
+                    "finalize",
+                    event.pid,
+                    interval=interval.label,
+                    aid=interval.aid.key if interval.aid is not None else None,
+                )
+            if self.fossil_collect:
+                # Finalize is what advances the commit frontier (Eq 21), so
+                # it is the natural collection trigger — but the machine is
+                # mid-primitive here, so only raise the deferred flag.
+                self._finalizes_since_collect += 1
+                if self._finalizes_since_collect >= self.fossil_interval:
+                    self._fossil_pending = True
         if self._aid_waiters:
             self._wake_aid_waiters()
+
+    def _observe_machine_event(self, event: MachineEvent) -> None:
+        """Second machine listener, subscribed only when metered: folds
+        every event into the instrument set and the span collector.
+        Purely reads — it must never schedule, trace, or mutate machine
+        state, so metered and unmetered runs stay byte-identical."""
+        now = self.sim.now
+        self.spec_metrics.observe_event(event, now)
+        self.spans.observe(event, now)
 
     def _wake_aid_waiters(self) -> None:
         """Resume pessimistic-mode guessers whose AIDs have resolved."""
@@ -947,6 +1055,11 @@ class HopeSystem:
         promoted = self._try_promote_shadow(proc, checkpoint.log_index, delay)
         if not promoted:
             self._start_task(proc, delay)
+        if self._metered:
+            spec = self.spec_metrics
+            spec.restarts.inc()
+            spec.wasted_time.inc(wasted)
+            spec.replay_entries.inc(0 if promoted else len(proc.log))
         self.tracer.record(
             self.sim.now,
             "restart",

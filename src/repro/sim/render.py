@@ -50,15 +50,29 @@ def render_timeline(
     lines = []
     for name in names:
         cells = [IDLE] * width
-        for span in timeline.process(name).spans:
+        tl = timeline.process(name)
+        for span in tl.spans:
             end = span.end if span.end is not None else horizon
-            start_cell = int(span.start / horizon * width)
+            # A span starting exactly at the horizon would map to
+            # start_cell == width and fall off the chart; clamp so
+            # boundary spans occupy the final cell.
+            start_cell = min(int(span.start / horizon * width), width - 1)
             end_cell = max(start_cell + 1, int(end / horizon * width))
             glyph = GLYPHS.get(span.kind, "?")
             for cell in range(start_cell, min(end_cell, width)):
                 if priority[glyph] > priority[cells[cell]]:
                     cells[cell] = glyph
-        lines.append(f"{name.ljust(label_width)} |{''.join(cells)}|")
+        row = f"{name.ljust(label_width)} |{''.join(cells)}|"
+        base = tl.base_totals()
+        if base and not tl.spans:
+            # All of this process's spans were folded into base totals by
+            # compact_before(); without the annotation the row reads as
+            # "did nothing", disagreeing with Timeline.names()/totals().
+            folded = " ".join(
+                f"{kind}={base[kind]:g}" for kind in sorted(base) if base[kind]
+            )
+            row += f" (compacted: {folded})"
+        lines.append(row)
     footer = f"{' ' * label_width} 0{' ' * (width - len(f'{horizon:g}'))}{horizon:g}"
     lines.append(footer)
     legend = (

@@ -88,8 +88,10 @@ class ProcessTimeline:
         """Re-label all activity in ``[start_time, now)`` as ``kind``.
 
         Rollback calls this with ``kind=WASTED``: everything the process did
-        since the guess point was thrown away.  Returns the re-labelled
-        duration.
+        since the guess point was thrown away.  Returns the *newly*
+        re-labelled duration — spans already of ``kind`` (a deeper rollback
+        sweeping over an earlier rollback's window) count zero, so the
+        per-call returns sum exactly to ``aggregate(kind)``.
         """
         self.close(now)
         wasted = 0.0
@@ -99,16 +101,26 @@ class ProcessTimeline:
             if end <= start_time:
                 kept.append(span)
             elif span.start >= start_time:
-                wasted += end - span.start
+                if span.kind != kind:
+                    wasted += end - span.start
                 kept.append(Span(kind, span.start, end))
             else:
                 # straddles the boundary: split
                 kept.append(Span(span.kind, span.start, start_time))
-                wasted += end - start_time
+                if span.kind != kind:
+                    wasted += end - start_time
                 kept.append(Span(kind, start_time, end))
         self.spans = kept
         self._open = None
         return wasted
+
+    def base_totals(self) -> dict[str, float]:
+        """Durations folded out of :attr:`spans` by :meth:`compact_before`.
+
+        Returns a copy, keyed by span kind.  Renderers use this to keep a
+        process visible after all of its spans were compacted away.
+        """
+        return dict(self._base)
 
     def total(self, kind: str, now: Optional[float] = None) -> float:
         """Total duration of spans of ``kind`` (open span measured to ``now``)."""

@@ -51,8 +51,8 @@ class Tracer:
         self._categories = frozenset(categories) if categories is not None else None
         #: categories=() means "record nothing": every record() call is
         #: pure overhead.  The engine reads this to skip its hot-path
-        #: record calls entirely (record() itself still counts, per the
-        #: NullTracer contract, when it *is* called).
+        #: record calls entirely, and record() itself returns immediately
+        #: when it *is* called (no counting, no listener fan-out).
         self._disabled = self._categories is not None and not self._categories
         self._max_records = max_records
         self.records: list[TraceRecord] = []
@@ -61,12 +61,26 @@ class Tracer:
         self._listeners: list[Callable[[TraceRecord], None]] = []
 
     def record(self, time: float, category: str, process: str, **detail: Any) -> None:
-        """Append one record (subject to category filter and size bound)."""
+        """Append one record (subject to category filter and size bound).
+
+        Ordering contract: listeners are notified for every *recorded*
+        record **before** the ``max_records`` truncation drops the oldest
+        ones — a subscriber is a streaming consumer (the fossil benchmark
+        digests the full trace through a ``max_records=1`` tracer), so it
+        must see records the bound will immediately discard.  A disabled
+        tracer (``categories=()``, i.e. :class:`NullTracer`) records
+        nothing, counts nothing, and notifies nobody: ``record()`` is a
+        pure no-op, matching the engine's skip-wholesale fast path.
+        """
+        if self._disabled:
+            return
         self.counts[category] = self.counts.get(category, 0) + 1
         if self._categories is not None and category not in self._categories:
             return
         rec = TraceRecord(time, category, process, detail)
         self.records.append(rec)
+        # Listeners first, truncation second (see the ordering contract
+        # above): the streamed view is complete, the retained view bounded.
         for listener in self._listeners:
             listener(rec)
         if self._max_records is not None and len(self.records) > self._max_records:
@@ -74,7 +88,17 @@ class Tracer:
             self.truncated = True
 
     def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
-        """Invoke ``listener`` on every record as it is added."""
+        """Invoke ``listener`` on every record as it is added.
+
+        Refused on a disabled tracer: its ``record()`` never fans out, so
+        a subscription there is a silent black hole (historically it
+        *looked* like it would stream).
+        """
+        if self._disabled:
+            raise ValueError(
+                "cannot subscribe to a disabled tracer (categories=()); "
+                "its record() is a no-op and would never notify"
+            )
         self._listeners.append(listener)
 
     def by_category(self, category: str) -> list[TraceRecord]:
@@ -87,8 +111,23 @@ class Tracer:
         """Total occurrences of ``category``, including filtered-out ones."""
         return self.counts.get(category, 0)
 
-    def fingerprint(self) -> str:
-        """Stable hash of the whole trace; equal traces ⇒ equal fingerprints."""
+    def fingerprint(self, allow_truncated: bool = False) -> str:
+        """Stable hash of the whole trace; equal traces ⇒ equal fingerprints.
+
+        A truncated trace no longer *is* the whole trace: hashing the
+        surviving suffix silently compares windows whose start points
+        depend on when the bound tripped.  That is how determinism checks
+        go green on garbage, so by default this raises once ``truncated``
+        is set.  Pass ``allow_truncated=True`` to hash the retained
+        suffix anyway (only meaningful when both sides share the same
+        ``max_records``).
+        """
+        if self.truncated and not allow_truncated:
+            raise ValueError(
+                "trace was truncated by max_records; fingerprint() would "
+                "hash an arbitrary suffix — stream via subscribe() or pass "
+                "allow_truncated=True"
+            )
         h = hashlib.sha256()
         for rec in self.records:
             h.update(repr(rec.as_tuple()).encode("utf-8"))
@@ -109,7 +148,12 @@ class Tracer:
 
 
 class NullTracer(Tracer):
-    """A tracer that records nothing (but still counts) — for benchmarks."""
+    """A tracer whose ``record()`` is a pure no-op — for benchmarks.
+
+    Records nothing, counts nothing: the whole point is that the traced
+    and untraced hot paths differ only by one early-return, so overhead
+    benchmarks measure the runtime, not the tracer.
+    """
 
     def __init__(self) -> None:
         super().__init__(categories=())

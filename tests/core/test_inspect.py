@@ -109,6 +109,93 @@ def test_to_dot_is_valid_looking_graphviz():
     assert x.key in dot
 
 
+def test_parked_deny_edge_rendered():
+    """A speculative deny parks in IHD (Eq 16) and shows as parked_deny."""
+    machine = make_machine()
+    x = machine.aid_init("x")
+    y = machine.aid_init("y")
+    machine.guess("p", x)       # p speculative on x
+    machine.deny("p", y)        # speculative deny: y parked in p's IHD
+    graph = dependency_graph(machine)
+    relations = {
+        (src, dst): d["relation"] for src, dst, d in graph.edges(data=True)
+    }
+    interval = machine.process("p").current
+    assert relations[(f"interval:{interval.label}", f"aid:{y.key}")] == "parked_deny"
+    # the dot rendering maps the relation to its dotted style
+    assert "dotted" in to_dot(machine)
+
+
+def test_include_dead_shows_rolled_back_intervals():
+    machine = make_machine()
+    x = machine.aid_init("x")
+    y = machine.aid_init("y")
+    machine.guess("q", y)
+    machine.guess("p", x)
+    machine.affirm("q", x)      # speculative affirm: x now rides on y
+    p_interval = machine.process("p").current
+    q_interval = machine.process("q").current
+    machine.deny("r", y)        # kills q's interval (and p's, via the merge)
+    # the rollback also revoked the speculative affirm: x is pending
+    # again and no affirmed_by edge survives, dead view included
+    assert x.speculative_affirmer is None
+    live = dependency_graph(machine)
+    assert [n for n, d in live.nodes(data=True) if d["kind"] == "interval"] == []
+    dead = dependency_graph(machine, include_dead=True)
+    for interval in (p_interval, q_interval):
+        node = f"interval:{interval.label}"
+        assert dead.nodes[node]["state"] == "rolled_back"
+        # dead intervals keep their recorded IDO edges
+        assert (node, f"aid:{y.key}") in dead.edges
+    assert all(
+        d["relation"] != "affirmed_by" for _s, _t, d in dead.edges(data=True)
+    )
+
+
+def test_to_dot_status_colors():
+    machine = make_machine()
+    x = machine.aid_init("x")
+    y = machine.aid_init("y")
+    z = machine.aid_init("z")
+    machine.guess("p", x)       # x pending
+    machine.affirm("q", y)      # y affirmed (definite)
+    machine.deny("q", z)        # z denied (definite)
+    dot = to_dot(machine)
+    lines = {line for line in dot.splitlines()}
+    assert any(x.key in l and "color=gray" in l for l in lines)
+    assert any(y.key in l and "color=green" in l for l in lines)
+    assert any(z.key in l and "color=red" in l for l in lines)
+    # intervals are boxes, AIDs ellipses
+    assert any("shape=box" in l for l in lines)
+    assert any("shape=ellipse" in l for l in lines)
+
+
+def test_blast_radius_spreads_through_implicit_guesses():
+    """A tagged receive (guess_many) pulls the receiver into DOM, so the
+    blast radius must include it — the cross-process cascade the span
+    tree renders."""
+    machine = make_machine()
+    x = machine.aid_init("x")
+    machine.guess("p", x)
+    # q receives a message tagged {x}: implicit guess
+    interval = machine.guess_many("q", [x])
+    assert interval is not None and interval.aid is None
+    # r receives a message from q, tagged with q's dependencies
+    machine.guess_many("r", [x])
+    assert rollback_blast_radius(machine, x) == frozenset({"p", "q", "r"})
+    machine.deny("p", x)
+    assert rollback_blast_radius(machine, x) == frozenset()
+
+
+def test_guess_many_with_no_new_deps_creates_no_interval():
+    machine = make_machine()
+    x = machine.aid_init("x")
+    machine.guess("p", x)
+    before = machine.process("p").current
+    assert machine.guess_many("p", [x]) is None
+    assert machine.process("p").current is before
+
+
 def test_graph_is_acyclic_for_plain_guesses():
     machine = make_machine()
     aids = [machine.aid_init(f"a{i}") for i in range(3)]

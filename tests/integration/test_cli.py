@@ -119,6 +119,64 @@ def test_run_occ_example():
     assert "rollbacks=" in out
 
 
+_FIGURE2_SPAWNS = [
+    "--spawn", "server=Server:[60]",
+    "--spawn", "worrywart=WorryWart:[60]",
+    "--spawn", "worker=Worker:[10]",
+]
+
+
+def test_run_metrics_to_stdout():
+    code, out = run_cli(
+        ["run", FIGURE2, *_FIGURE2_SPAWNS, "--metrics-out", "-"]
+    )
+    assert code == 0
+    assert "speculation metrics" in out
+    assert "hope_guesses_total" in out
+    assert "wasted-work ratio" in out
+    assert "interval spans" in out
+
+
+def test_run_metrics_to_file(tmp_path):
+    target = tmp_path / "metrics.jsonl"
+    code, out = run_cli(
+        [
+            "run", FIGURE2, *_FIGURE2_SPAWNS,
+            "--metrics-out", str(target),
+            "--metrics-format", "jsonl",
+        ]
+    )
+    assert code == 0
+    assert f"metrics: wrote jsonl to {target}" in out
+    import json
+
+    rows = [json.loads(line) for line in target.read_text().splitlines()]
+    names = {r.get("name") for r in rows}
+    assert "hope_guesses_total" in names
+    assert any(r["type"] == "span" for r in rows)
+
+
+def test_run_metrics_prom_format(tmp_path):
+    target = tmp_path / "metrics.prom"
+    code, out = run_cli(
+        [
+            "run", FIGURE2, *_FIGURE2_SPAWNS,
+            "--metrics-out", str(target),
+            "--metrics-format", "prom",
+        ]
+    )
+    assert code == 0
+    text = target.read_text()
+    assert "# TYPE hope_guesses_total counter" in text
+    assert 'hope_commit_latency_bucket{le="+Inf"}' in text
+
+
+def test_run_without_metrics_flag_prints_none():
+    code, out = run_cli(["run", FIGURE2, *_FIGURE2_SPAWNS])
+    assert code == 0
+    assert "speculation metrics" not in out
+
+
 def test_run_aid_task_mode():
     code, out = run_cli(
         [

@@ -1,0 +1,119 @@
+"""Unit tests for the JSONL / Prometheus / summary exporters."""
+
+import json
+
+import pytest
+
+from repro.core import Machine
+from repro.obs import (
+    MetricsRegistry,
+    SpanCollector,
+    SpeculationMetrics,
+    render,
+    summary,
+    to_jsonl,
+    to_prometheus,
+)
+
+
+@pytest.fixture
+def populated():
+    """A registry + span collector fed by one guess/affirm round."""
+    registry = MetricsRegistry()
+    spec = SpeculationMetrics(registry)
+    spans = SpanCollector()
+    machine = Machine(strict=True)
+    clock = {"now": 0.0}
+    machine.subscribe(lambda event: spec.observe_event(event, clock["now"]))
+    machine.subscribe(lambda event: spans.observe(event, clock["now"]))
+    machine.create_process("p")
+    machine.create_process("q")
+    x = machine.aid_init("x")
+    clock["now"] = 1.0
+    machine.guess("p", x)
+    clock["now"] = 4.0
+    machine.affirm("q", x)
+    return registry, spans, spec
+
+
+def test_jsonl_rows_parse_and_cover_everything(populated):
+    registry, spans, _ = populated
+    lines = to_jsonl(registry, spans).splitlines()
+    rows = [json.loads(line) for line in lines]
+    metric_rows = [r for r in rows if r["type"] in ("counter", "gauge", "histogram")]
+    span_rows = [r for r in rows if r["type"] == "span"]
+    assert len(metric_rows) == len(registry)
+    assert len(span_rows) == len(spans)
+    by_name = {r["name"]: r for r in metric_rows}
+    assert by_name["hope_guesses_total"]["value"] == 1
+    latency = by_name["hope_commit_latency"]
+    assert latency["count"] == 1
+    assert latency["sum"] == pytest.approx(3.0)
+    # the +Inf tail serializes as a string, not Infinity (invalid JSON)
+    assert latency["buckets"][-1][0] == "+Inf"
+    assert span_rows[0]["disposition"] == "finalized"
+
+
+def test_jsonl_empty_registry_is_empty_string():
+    assert to_jsonl(MetricsRegistry()) == ""
+
+
+def test_prometheus_format(populated):
+    registry, _, _ = populated
+    text = to_prometheus(registry)
+    assert "# TYPE hope_guesses_total counter\nhope_guesses_total 1\n" in text
+    assert "# HELP hope_guesses_total" in text
+    # histogram: cumulative buckets, +Inf equals _count, sum without .0
+    assert 'hope_commit_latency_bucket{le="+Inf"} 1' in text
+    assert "hope_commit_latency_sum 3\n" in text
+    assert "hope_commit_latency_count 1" in text
+    cumulative = [
+        int(line.rsplit(" ", 1)[1])
+        for line in text.splitlines()
+        if line.startswith("hope_commit_latency_bucket")
+    ]
+    assert cumulative == sorted(cumulative)
+
+
+def test_prometheus_float_rendering():
+    registry = MetricsRegistry()
+    registry.gauge("g").set(2.5)
+    registry.counter("c").inc(3)
+    text = to_prometheus(registry)
+    assert "\ng 2.5" in text
+    assert "\nc 3" in text
+
+
+def test_summary_table(populated):
+    registry, spans, spec = populated
+    text = summary(registry, spans, spec)
+    assert "speculation metrics" in text
+    assert "hope_guesses_total" in text
+    assert "wasted-work ratio" in text
+    assert "interval spans" in text
+    assert "✓" in text
+    # histogram line carries n / mean / conservative quantiles
+    assert "n=1 mean=3" in text
+
+
+def test_summary_without_spans_or_spec():
+    registry = MetricsRegistry()
+    registry.counter("c").inc()
+    text = summary(registry)
+    assert "derived" not in text
+    assert "interval spans" not in text
+
+
+def test_render_dispatch(populated):
+    registry, spans, spec = populated
+    assert render("jsonl", registry, spans) == to_jsonl(registry, spans)
+    assert render("prom", registry) == to_prometheus(registry)
+    assert render("summary", registry, spans, spec) == summary(registry, spans, spec)
+    with pytest.raises(ValueError):
+        render("xml", registry)
+
+
+def test_exports_are_pure_functions(populated):
+    registry, spans, spec = populated
+    for fmt in ("jsonl", "prom", "summary"):
+        assert render(fmt, registry, spans, spec) == render(fmt, registry, spans, spec)

@@ -1,0 +1,180 @@
+"""End-to-end tests: the observability layer wired into HopeSystem."""
+
+import pytest
+
+from repro.core import HopeError
+from repro.obs import IntervalSpan, MetricsRegistry, NullRegistry
+from repro.runtime import HopeSystem
+from repro.sim import Tracer
+
+
+def _program(decision):
+    """Worker guesses, speculatively messages a sink (implicit guess
+    there), verifier affirms or denies after thinking."""
+
+    def worker(p):
+        x = yield p.aid_init("x")
+        yield p.send("verifier", x)
+        if (yield p.guess(x)):
+            yield p.compute(3.0)
+            yield p.send("sink", "speculative-hello")
+        else:
+            yield p.compute(1.0)
+
+    def sink(p):
+        yield p.recv()                 # tagged receive -> implicit guess
+        yield p.compute(1.0)
+
+    def verifier(p):
+        msg = yield p.recv()
+        yield p.compute(10.0)          # long enough that the sink's recv
+        if decision == "affirm":       # happens while x is still pending
+            yield p.affirm(msg.payload)
+        else:
+            yield p.deny(msg.payload)
+
+    return worker, sink, verifier
+
+
+def run_metered(decision):
+    registry = MetricsRegistry()
+    system = HopeSystem(metrics=registry)
+    worker, sink, verifier = _program(decision)
+    system.spawn("worker", worker)
+    system.spawn("sink", sink)
+    system.spawn("verifier", verifier)
+    system.run()
+    return system, registry
+
+
+def test_affirm_run_counts_and_latency():
+    system, registry = run_metered("affirm")
+    spec = system.spec_metrics
+    assert spec.guesses.value == 1
+    assert spec.implicit_guesses.value == 1
+    assert spec.affirms.value == 1
+    assert spec.denies.value == 0
+    assert spec.rollbacks.value == 0
+    assert spec.finalizes.value == 2           # worker's interval + sink's
+    assert spec.commit_latency.count == 2
+    assert spec._open_guesses == {}
+    spans = system.spans.spans()
+    assert len(spans) == 2
+    assert all(s.disposition is IntervalSpan.FINALIZED for s in spans)
+    # the sink's implicit span hangs off the worker's explicit span
+    implicit = [s for s in spans if s.aid is None]
+    explicit = [s for s in spans if s.aid is not None]
+    assert len(implicit) == 1 and len(explicit) == 1
+    assert implicit[0].parent is explicit[0]
+    assert implicit[0].pid == "sink"
+
+
+def test_deny_run_counts_rollback_and_waste():
+    system, registry = run_metered("deny")
+    spec = system.spec_metrics
+    stats = system.stats()
+    assert spec.denies.value == 1
+    assert spec.rollbacks.value == stats["rollbacks"] > 0
+    assert spec.restarts.value == stats["restarts"] > 0
+    assert spec.wasted_time.value == pytest.approx(stats["wasted_time"])
+    assert spec.cascade_depth.count == spec.rollbacks.value
+    assert spec.intervals_discarded.value >= 2  # worker's + sink's interval
+    dead = [
+        s for s in system.spans.spans()
+        if s.disposition is IntervalSpan.ROLLED_BACK
+    ]
+    assert len(dead) == spec.intervals_discarded.value
+    assert all(s.cause is not None for s in dead)
+    # derived wasted-work ratio agrees with the timeline arithmetic
+    system.metrics_snapshot()
+    wasted, busy = stats["wasted_time"], stats["busy_time"]
+    assert spec.wasted_work_ratio() == pytest.approx(wasted / (wasted + busy))
+
+
+def test_snapshot_fills_gauges():
+    system, registry = run_metered("affirm")
+    result = system.metrics_snapshot()
+    assert result is registry
+    stats = system.stats()
+    assert registry.get("hope_messages_sent").value == stats["messages_sent"]
+    assert registry.get("hope_sim_events").value == stats["sim_events"]
+    assert registry.get("hope_busy_time").value == pytest.approx(stats["busy_time"])
+    assert registry.get("hope_resolve_cache_hits").value == stats["resolve_cache_hits"]
+
+
+def test_export_metrics_all_formats():
+    system, _ = run_metered("deny")
+    text = system.export_metrics("summary")
+    assert "hope_rollbacks_total" in text
+    assert "wasted-work ratio" in text
+    assert "rolled_back" in text
+    jsonl = system.export_metrics("jsonl")
+    assert '"type": "span"' in jsonl
+    prom = system.export_metrics("prom")
+    assert "# TYPE hope_commit_latency histogram" in prom
+    with pytest.raises(ValueError):
+        system.export_metrics("xml")
+
+
+def test_unmetered_system_has_no_observability_state():
+    system = HopeSystem()
+    assert isinstance(system.metrics, NullRegistry)
+    assert system.spec_metrics is None
+    assert system.spans is None
+    with pytest.raises(HopeError):
+        system.metrics_snapshot()
+
+
+def test_metered_run_trace_is_byte_identical():
+    def run(metrics):
+        tracer = Tracer()
+        system = HopeSystem(trace=tracer, metrics=metrics)
+        worker, sink, verifier = _program("deny")
+        system.spawn("worker", worker)
+        system.spawn("sink", sink)
+        system.spawn("verifier", verifier)
+        system.run()
+        return tracer
+
+    plain = run(None)
+    nulled = run(NullRegistry())
+    metered = run(MetricsRegistry())
+    assert plain.format() == nulled.format() == metered.format()
+    assert plain.fingerprint() == metered.fingerprint()
+
+
+def test_crash_discards_open_spans():
+    registry = MetricsRegistry()
+    system = HopeSystem(metrics=registry)
+
+    def worker(p):
+        x = yield p.aid_init("x")
+        yield p.guess(x)
+        yield p.recv()                 # blocks forever: x never resolves
+
+    system.spawn("worker", worker)
+    system.run()
+    spec = system.spec_metrics
+    assert len(spec._open_guesses) == 1
+    assert len(system.spans.open_spans()) == 1
+    system.crash_process("worker")
+    assert spec._open_guesses == {}
+    assert system.spans.open_spans() == []
+    dead = system.spans.spans()[0]
+    assert dead.disposition is IntervalSpan.ROLLED_BACK
+
+
+def test_dependency_dot_delegates_to_inspect():
+    registry = MetricsRegistry()
+    system = HopeSystem(metrics=registry)
+
+    def worker(p):
+        x = yield p.aid_init("x")
+        yield p.guess(x)
+        yield p.recv()
+
+    system.spawn("worker", worker)
+    system.run()
+    dot = system.dependency_dot()
+    assert dot.startswith("digraph hope")
+    assert "worker" in dot

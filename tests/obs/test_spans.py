@@ -1,0 +1,189 @@
+"""Unit tests for the interval-lifecycle span collector.
+
+Driven against a bare :class:`repro.core.Machine` with a synthetic
+clock, the same embedding the module docstring promises.
+"""
+
+import pytest
+
+from repro.core import Machine
+from repro.obs import IntervalSpan, SpanCollector
+
+
+@pytest.fixture
+def rig():
+    machine = Machine(strict=True)
+    spans = SpanCollector()
+    clock = {"now": 0.0}
+    machine.subscribe(lambda event: spans.observe(event, clock["now"]))
+    return machine, spans, clock
+
+
+def current_span(machine, spans, pid):
+    return spans.get(machine.process(pid).current.serial)
+
+
+def test_span_opens_on_guess_and_closes_on_finalize(rig):
+    machine, spans, clock = rig
+    machine.create_process("p")
+    machine.create_process("q")
+    x = machine.aid_init("x")
+    clock["now"] = 1.0
+    machine.guess("p", x)
+    span = current_span(machine, spans, "p")
+    assert span.disposition is IntervalSpan.OPEN
+    assert span.aid == x.key
+    assert span.deps == (x.key,)
+    assert span.pid == "p"
+    assert span.duration is None
+    assert spans.open_spans() == [span]
+    clock["now"] = 4.0
+    machine.affirm("q", x)
+    assert span.disposition is IntervalSpan.FINALIZED
+    assert span.duration == pytest.approx(3.0)
+    assert span.cause is None
+    assert spans.open_spans() == []
+
+
+def test_nested_guess_links_same_process_parent(rig):
+    machine, spans, clock = rig
+    machine.create_process("p")
+    x = machine.aid_init("x")
+    y = machine.aid_init("y")
+    machine.guess("p", x)
+    outer = current_span(machine, spans, "p")
+    machine.guess("p", y)
+    inner = current_span(machine, spans, "p")
+    assert inner.parent is outer
+    assert outer.children == [inner]
+    assert spans.roots() == [outer]
+
+
+def test_cross_process_guess_links_to_aid_owner(rig):
+    machine, spans, clock = rig
+    machine.create_process("p")
+    machine.create_process("q")
+    x = machine.aid_init("x")
+    machine.guess("p", x)
+    owner = current_span(machine, spans, "p")
+    machine.guess("q", x)
+    other = current_span(machine, spans, "q")
+    # q's interval has no same-process parent; it hangs off the span
+    # that first guessed x, stitching the cascade across processes.
+    assert other.parent is owner
+    assert spans.roots() == [owner]
+
+
+def test_rollback_closes_cascade_with_cause(rig):
+    machine, spans, clock = rig
+    machine.create_process("p")
+    machine.create_process("q")
+    x = machine.aid_init("x")
+    y = machine.aid_init("y")
+    clock["now"] = 1.0
+    machine.guess("p", x)
+    outer = current_span(machine, spans, "p")
+    machine.guess("p", y)
+    inner = current_span(machine, spans, "p")
+    clock["now"] = 7.0
+    machine.deny("q", x)
+    assert outer.disposition is IntervalSpan.ROLLED_BACK
+    assert inner.disposition is IntervalSpan.ROLLED_BACK
+    assert outer.cause == x.key and inner.cause == x.key
+    assert outer.duration == pytest.approx(6.0)
+    assert spans.cascade_of(x.key) == [outer, inner]
+    assert spans.cascade_of(y.key) == []
+
+
+def test_discard_closes_spans_outside_rollback(rig):
+    machine, spans, clock = rig
+    machine.create_process("p")
+    x = machine.aid_init("x")
+    machine.guess("p", x)
+    interval = machine.process("p").current
+    spans.discard([interval], 9.0, cause="crash")
+    span = spans.get(interval.serial)
+    assert span.disposition is IntervalSpan.ROLLED_BACK
+    assert span.cause == "crash"
+    assert span.close_time == 9.0
+
+
+def test_close_is_idempotent(rig):
+    machine, spans, clock = rig
+    machine.create_process("p")
+    machine.create_process("q")
+    x = machine.aid_init("x")
+    clock["now"] = 1.0
+    machine.guess("p", x)
+    interval = machine.process("p").current
+    clock["now"] = 2.0
+    machine.affirm("q", x)
+    span = spans.get(interval.serial)
+    spans.discard([interval], 99.0, cause="late")
+    assert span.disposition is IntervalSpan.FINALIZED
+    assert span.close_time == 2.0
+
+
+def test_max_spans_evicts_only_closed(rig):
+    machine, spans, _ = rig
+    bounded = SpanCollector(max_spans=2)
+    machine.subscribe(lambda event: bounded.observe(event, 0.0))
+    machine.create_process("p")
+    machine.create_process("q")
+    resolved = []
+    for index in range(3):
+        aid = machine.aid_init(f"a{index}")
+        machine.guess("p", aid)
+        machine.affirm("q", aid)
+        resolved.append(aid)
+    still_open = machine.aid_init("open")
+    machine.guess("p", still_open)
+    assert len(bounded) == 2
+    assert bounded.truncated
+    assert bounded.dropped == 2
+    labels = {span.aid for span in bounded.spans()}
+    # the open span survives; the oldest closed ones went first
+    assert still_open.key in labels
+    assert resolved[0].key not in labels and resolved[1].key not in labels
+    assert "dropped (max_spans)" in bounded.format_tree()
+
+
+def test_format_tree_shape(rig):
+    machine, spans, clock = rig
+    machine.create_process("p")
+    machine.create_process("q")
+    x = machine.aid_init("x")
+    y = machine.aid_init("y")
+    clock["now"] = 1.0
+    machine.guess("p", x)
+    machine.guess("p", y)
+    clock["now"] = 3.0
+    machine.deny("q", y)            # kills only the inner interval
+    machine.affirm("q", x)
+    tree = spans.format_tree()
+    lines = tree.splitlines()
+    assert len(lines) == 2
+    assert lines[0].startswith("✓")
+    assert lines[1].startswith("  ✗")
+    assert f"cause={y.key}" in lines[1]
+    assert "finalized" in lines[0] and "rolled_back" in lines[1]
+
+
+def test_as_dict_is_plain_data(rig):
+    machine, spans, clock = rig
+    machine.create_process("p")
+    machine.create_process("q")
+    x = machine.aid_init("x")
+    clock["now"] = 2.0
+    machine.guess("p", x)
+    interval = machine.process("p").current
+    clock["now"] = 5.0
+    machine.affirm("q", x)
+    row = spans.get(interval.serial).as_dict()
+    assert row["type"] == "span"
+    assert row["pid"] == "p"
+    assert row["aid"] == x.key
+    assert row["open"] == 2.0 and row["close"] == 5.0
+    assert row["duration"] == pytest.approx(3.0)
+    assert row["disposition"] == "finalized"
+    assert row["parent"] is None

@@ -48,6 +48,55 @@ def test_render_empty_timeline():
     assert render_timeline(Timeline()) .endswith("=rolled-back")
 
 
+def test_render_span_ending_exactly_at_horizon():
+    timeline = Timeline()
+    p = timeline.process("p")
+    p.mark(Span.BUSY, 8.0)
+    p.close(10.0)
+    text = render_timeline(timeline, horizon=10.0, width=10, processes=["p"])
+    cells = text.splitlines()[0].split("|")[1]
+    assert cells == "        ##"
+
+
+def test_render_zero_length_span_at_horizon_is_clamped():
+    # start == horizon used to compute start_cell == width and silently
+    # drop the span; it must land in the final cell instead.
+    timeline = Timeline()
+    p = timeline.process("p")
+    p.spans.append(Span(Span.BUSY, 10.0, 10.0))
+    text = render_timeline(timeline, horizon=10.0, width=10, processes=["p"])
+    cells = text.splitlines()[0].split("|")[1]
+    assert cells == "         #"
+
+
+def test_render_keeps_fully_folded_process_visible():
+    timeline = build_timeline()
+    # Fold every span of both processes into base totals (commit frontier
+    # past the end of the run).
+    dropped = timeline.compact_before(10.0)
+    assert dropped > 0
+    assert all(not timeline.process(n).spans for n in timeline.names())
+    text = render_timeline(timeline, horizon=10.0, width=10)
+    worker_row = [l for l in text.splitlines() if l.startswith("worker")][0]
+    assert "compacted:" in worker_row
+    assert "busy=4" in worker_row
+    assert "wasted=4" in worker_row
+    # names() and the chart agree: both processes still listed.
+    assert [l.split()[0] for l in text.splitlines()[:2]] == timeline.names()
+
+
+def test_base_totals_accessor_returns_copy():
+    timeline = build_timeline()
+    timeline.compact_before(10.0)
+    worker = timeline.process("worker")
+    base = worker.base_totals()
+    assert base[Span.BUSY] == 4.0
+    base[Span.BUSY] = 99.0
+    assert worker.base_totals()[Span.BUSY] == 4.0
+    # total() still reports the folded durations.
+    assert worker.total(Span.BUSY) == 4.0
+
+
 def test_utilization_summary():
     text = render_utilization(build_timeline(), horizon=10.0)
     assert "worker" in text and "verifier" in text

@@ -126,11 +126,28 @@ def test_tracer_max_records_truncates():
     assert tracer.records[0].detail == {"i": 3}
 
 
+def test_tracer_fingerprint_raises_on_truncated_trace():
+    tracer = Tracer(max_records=2)
+    for i in range(5):
+        tracer.record(float(i), "e", "p", i=i)
+    with pytest.raises(ValueError, match="truncated"):
+        tracer.fingerprint()
+    # The escape hatch still hashes the retained suffix deterministically.
+    assert tracer.fingerprint(allow_truncated=True)
+
+
 def test_null_tracer_records_nothing():
     tracer = NullTracer()
     tracer.record(1.0, "send", "p")
     assert len(tracer) == 0
-    assert tracer.count("send") == 1
+    assert tracer.count("send") == 0
+    assert tracer.counts == {}
+
+
+def test_null_tracer_refuses_subscribers():
+    tracer = NullTracer()
+    with pytest.raises(ValueError, match="disabled tracer"):
+        tracer.subscribe(lambda rec: None)
 
 
 def test_tracer_subscribe():
@@ -139,6 +156,19 @@ def test_tracer_subscribe():
     tracer.subscribe(seen.append)
     tracer.record(1.0, "send", "p")
     assert len(seen) == 1
+
+
+def test_tracer_listeners_see_records_before_truncation():
+    # Streaming consumers (e.g. the fossil benchmark's trace digest) must
+    # observe *every* record even when max_records retains almost none.
+    tracer = Tracer(max_records=1)
+    seen = []
+    tracer.subscribe(seen.append)
+    for i in range(5):
+        tracer.record(float(i), "e", "p", i=i)
+    assert [r.detail["i"] for r in seen] == [0, 1, 2, 3, 4]
+    assert len(tracer) == 1
+    assert tracer.truncated
 
 
 # ---------------------------------------------------------------- failure
@@ -230,6 +260,23 @@ def test_reclassify_since_marks_wasted_work():
     assert tl.total(Span.WASTED) == pytest.approx(6.0)
     assert tl.total(Span.BUSY) == pytest.approx(2.0)
     assert tl.total(Span.BLOCKED) == pytest.approx(0.0)
+
+
+def test_reclassify_since_does_not_double_count_wasted():
+    """A deeper rollback sweeping over an earlier rollback's window must
+    not count the already-wasted time again: the per-call returns have to
+    sum to the timeline's WASTED aggregate (the wasted-time metric and
+    the restart trace records rely on this)."""
+    tl = Timeline().process("p")
+    tl.mark(Span.BUSY, 0.0)
+    first = tl.reclassify_since(4.0, Span.WASTED, 8.0)
+    assert first == pytest.approx(4.0)
+    tl.mark(Span.BUSY, 8.0)
+    # second rollback truncates to an *older* checkpoint at t=2
+    second = tl.reclassify_since(2.0, Span.WASTED, 10.0)
+    assert second == pytest.approx(4.0)      # [2,4) + [8,10) — not [4,8) again
+    assert first + second == pytest.approx(tl.total(Span.WASTED)) == 8.0
+    assert tl.total(Span.BUSY) == pytest.approx(2.0)
 
 
 def test_timeline_aggregate():
