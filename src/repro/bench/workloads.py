@@ -92,6 +92,104 @@ def vt_workload(
     return VtWorkload(streams=tuple(streams), send_spacing=spacing)
 
 
+# ---------------------------------------------------------------------------
+# chaos workloads (repro.chaos)
+#
+# Built for twin-equality checking under faults: every emission is
+# *branch-symmetric* — the speculative (guess=True) and pessimistic
+# (guess=False after a deny) executions emit the same values — which is
+# the paper's own correctness contract for optimistic programs (§2: the
+# guess only changes *when* work happens, not *what* is computed).  The
+# committed-output multiset of a faulty run therefore has to match its
+# fault-free twin's, whatever the fault plan did to message timing.
+# ---------------------------------------------------------------------------
+
+
+def chaos_deny_predicate(name: str, round_index: int) -> bool:
+    """Deterministic affirm/deny choice (no salted ``hash()`` — this must
+    be identical across interpreter runs for twin equality)."""
+    return (sum(ord(c) for c in name) + 3 * round_index) % 3 == 0
+
+
+def chaos_worker(p, validator: str, rounds: int):
+    """Guesses an assumption per round, ships it to the validator, and
+    emits a branch-symmetric record; the validator resolves the AID."""
+    for i in range(rounds):
+        x = yield p.aid_init(f"{p.name}-r{i}")
+        yield p.guess(x)
+        yield p.send(validator, ("check", x, p.name, i))
+        yield p.compute(1.0)
+        yield p.emit((p.name, i))
+    return rounds
+
+
+def chaos_validator(p, total: int):
+    """Resolves each worker assumption by the deterministic predicate.
+
+    Dead messages (retracted by a rollback upstream) never reach the
+    body, so the loop index only advances on live deliveries — each
+    worker round completes exactly once however often it was replayed.
+    """
+    for _ in range(total):
+        msg = yield p.recv()
+        _kind, x, name, i = msg.payload
+        if chaos_deny_predicate(name, i):
+            yield p.deny(x)
+        else:
+            yield p.affirm(x)
+        yield p.emit(("checked", name, i))
+    return total
+
+
+def build_chaos_mesh(system, workers: int = 3, rounds: int = 3) -> None:
+    """Fan-in mesh: N speculative workers against one validator.
+
+    Exercises tagged sends, implicit guesses, definite denies with
+    cross-process cascades, and speculative affirms — under whatever the
+    fault plan throws at the links.
+    """
+    system.spawn("validator", chaos_validator, workers * rounds)
+    for w in range(workers):
+        system.spawn(f"w{w}", chaos_worker, "validator", rounds)
+
+
+def chaos_ring_node(p, nxt: str, visits: int):
+    """One ring node: receive the token, guess, emit, forward, affirm.
+
+    Every 7th hop is denied instead of affirmed, forcing a rollback
+    cascade down the ring; the re-execution forwards the same token, so
+    the committed hop log is unchanged.
+    """
+    for _ in range(visits):
+        msg = yield p.recv()
+        hops = msg.payload
+        x = yield p.aid_init(f"h{hops}")
+        yield p.guess(x)
+        yield p.emit(("hop", hops))
+        if hops > 1:
+            yield p.send(nxt, hops - 1)
+        if hops % 7 == 0:
+            yield p.deny(x)
+        else:
+            yield p.affirm(x)
+    return visits
+
+
+def chaos_ring_driver(p, first: str, total: int):
+    yield p.send(first, total)
+    return total
+
+
+def build_chaos_ring(system, nodes: int = 4, laps: int = 2) -> None:
+    """Token ring: a token circulates ``laps`` times over ``nodes``
+    speculative hops, each tagged with the forwarding node's assumption."""
+    names = [f"n{i}" for i in range(nodes)]
+    total = nodes * laps
+    for i, name in enumerate(names):
+        system.spawn(name, chaos_ring_node, names[(i + 1) % nodes], laps)
+    system.spawn("driver", chaos_ring_driver, names[0], total)
+
+
 def counting_ring_handler(state, vt, payload):
     """The Time Warp ring workload handler (pure & deterministic)."""
     state["count"] += 1

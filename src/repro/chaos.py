@@ -1,0 +1,451 @@
+"""The chaos harness: seeds × fault plans, with invariants and a twin check.
+
+The paper's theorems (5.1–6.3) promise that optimism never corrupts
+committed state — rollback makes speculation *transparent*.  This module
+exercises that promise under an adversarial network: it sweeps seed ×
+:class:`~repro.sim.FaultPlan` combinations over the chaos workloads in
+:mod:`repro.bench.workloads`, attaches the
+:mod:`repro.verify.invariants` monitors to every run, and checks that
+
+* no invariant fires (ledger monotonicity, definite safety, quiescent
+  resolution, machine algebra);
+* every process finishes (faults cause delay and rollback, never a hang);
+* the faulty run's **committed state equals its fault-free twin's** —
+  the observable outcome is independent of what the network did;
+* re-running a case reproduces a byte-identical trace fingerprint
+  (faults are sampled from a seeded stream — chaos is replayable).
+
+On failure the harness **shrinks** the fault plan — removing partitions,
+zeroing and halving fault probabilities — to a minimal still-failing
+reproducer and writes it to disk as JSON, runnable via
+``python -m repro.cli chaos --repro <file>``.
+
+Used by ``repro.cli chaos``, ``benchmarks/smoke_chaos.py`` (the CI
+budget), and ``benchmarks/bench_chaos_resilience.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Callable, Iterable, Optional
+
+from .bench.workloads import build_chaos_mesh, build_chaos_ring
+from .runtime import DetectorConfig, HopeSystem, ReliableConfig
+from .sim import ConstantLatency, EventLimitExceeded, FaultPlan, LinkFaults, Partition, Tracer
+from .verify.invariants import InvariantViolation, attach_monitors, check_quiescent
+
+
+class ChaosWorkload:
+    """A named workload the harness can build into a fresh system."""
+
+    __slots__ = ("name", "build", "max_events", "description")
+
+    def __init__(
+        self,
+        name: str,
+        build: Callable[[HopeSystem], None],
+        max_events: int,
+        description: str = "",
+    ) -> None:
+        self.name = name
+        self.build = build
+        self.max_events = max_events
+        self.description = description
+
+
+WORKLOADS: dict[str, ChaosWorkload] = {
+    "mesh": ChaosWorkload(
+        "mesh",
+        build_chaos_mesh,
+        max_events=200_000,
+        description="3 speculative workers fan in to a validator that "
+        "affirms/denies each round",
+    ),
+    "ring": ChaosWorkload(
+        "ring",
+        build_chaos_ring,
+        max_events=200_000,
+        description="a token circulates a 4-node ring of tagged "
+        "speculative hops, with periodic denies",
+    ),
+}
+
+#: Endpoint groups per workload, used to aim partitions at real links.
+_PARTITION_SIDES = {
+    "mesh": (("w0", "w1"), ("validator", "w2")),
+    "ring": (("n0", "n1"), ("n2", "n3", "driver")),
+}
+
+
+def standard_plans(workload: str) -> dict[str, FaultPlan]:
+    """The named fault plans the default matrix sweeps for ``workload``."""
+    side_a, side_b = _PARTITION_SIDES[workload]
+    return {
+        "drop-light": FaultPlan(default=LinkFaults(drop=0.10)),
+        "drop-heavy": FaultPlan(default=LinkFaults(drop=0.25)),
+        "dup": FaultPlan(default=LinkFaults(duplicate=0.25)),
+        "reorder": FaultPlan(default=LinkFaults(reorder=0.35, reorder_window=6.0)),
+        "jitter": FaultPlan(default=LinkFaults(jitter=4.0)),
+        "storm": FaultPlan(
+            default=LinkFaults(
+                drop=0.15, duplicate=0.15, reorder=0.2, reorder_window=5.0, jitter=2.0
+            )
+        ),
+        "partition": FaultPlan(
+            default=LinkFaults(drop=0.05),
+            partitions=(Partition(side_a, side_b, start=5.0, heal_at=25.0),),
+        ),
+    }
+
+
+def committed_state(system: HopeSystem) -> dict[str, tuple]:
+    """Canonical committed-output multiset per process.
+
+    Sorted because fault plans legitimately permute *when* outputs
+    commit; the twin check compares *what* was committed.
+    """
+    return {
+        name: tuple(sorted(repr(value) for value in system.committed_outputs(name)))
+        for name in system.procs
+    }
+
+
+class CaseResult:
+    """Outcome of one (workload, seed, plan) run."""
+
+    __slots__ = (
+        "workload",
+        "seed",
+        "plan_name",
+        "plan",
+        "failure",
+        "fingerprint",
+        "committed",
+        "final_time",
+        "stats",
+    )
+
+    def __init__(self, workload, seed, plan_name, plan, failure, fingerprint,
+                 committed, final_time, stats) -> None:
+        self.workload = workload
+        self.seed = seed
+        self.plan_name = plan_name
+        self.plan = plan
+        self.failure = failure
+        self.fingerprint = fingerprint
+        self.committed = committed
+        self.final_time = final_time
+        self.stats = stats
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    def as_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "seed": self.seed,
+            "plan_name": self.plan_name,
+            "plan": self.plan.to_dict() if self.plan is not None else None,
+            "failure": self.failure,
+            "fingerprint": self.fingerprint,
+            "final_time": self.final_time,
+        }
+
+    def __repr__(self) -> str:
+        verdict = "ok" if self.ok else f"FAIL({self.failure})"
+        return f"<Case {self.workload} seed={self.seed} plan={self.plan_name}: {verdict}>"
+
+
+def run_case(
+    workload: ChaosWorkload,
+    seed: int,
+    plan: Optional[FaultPlan],
+    plan_name: str = "custom",
+    reliable: Any = True,
+    detector: Any = False,
+    twin: Optional[dict[str, tuple]] = None,
+    max_events: Optional[int] = None,
+) -> CaseResult:
+    """Run one chaos case with monitors attached; never raises.
+
+    ``plan=None`` is the fault-free configuration (used for twins).
+    ``twin`` is the fault-free committed state to compare against; pass
+    None to skip the comparison (e.g. when producing the twin itself).
+    """
+    tracer = Tracer()
+    system = HopeSystem(
+        seed=seed,
+        latency=ConstantLatency(1.0),
+        trace=tracer,
+        faults=plan,
+        reliable=ReliableConfig() if reliable is True else reliable,
+        failure_detector=(
+            DetectorConfig() if detector is True else detector
+        ),
+    )
+    attach_monitors(system)
+    workload.build(system)
+    failure: Optional[str] = None
+    final_time = 0.0
+    try:
+        final_time = system.run(
+            max_events=max_events if max_events is not None else workload.max_events
+        )
+        check_quiescent(system)
+        stuck = sorted(
+            name
+            for name, proc in system.procs.items()
+            if not proc.done and not proc.crashed
+        )
+        if stuck:
+            failure = f"stuck processes at quiescence: {stuck}"
+    except InvariantViolation as exc:
+        failure = f"invariant violation: {exc}"
+    except EventLimitExceeded as exc:
+        failure = f"livelock: {exc}"
+    committed = committed_state(system)
+    if failure is None and twin is not None and committed != twin:
+        diff = sorted(
+            name for name in set(committed) | set(twin)
+            if committed.get(name) != twin.get(name)
+        )
+        failure = f"committed state diverged from fault-free twin for {diff}"
+    return CaseResult(
+        workload.name,
+        seed,
+        plan_name,
+        plan,
+        failure,
+        tracer.fingerprint(),
+        committed,
+        final_time,
+        system.stats(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# shrinking
+# ---------------------------------------------------------------------------
+def _shrink_candidates(plan: FaultPlan) -> Iterable[tuple[str, FaultPlan]]:
+    """Structurally smaller plans, most aggressive first."""
+    # 1. drop each partition outright
+    for index in range(len(plan.partitions)):
+        kept = plan.partitions[:index] + plan.partitions[index + 1 :]
+        yield (f"-partition[{index}]", FaultPlan(plan.default, plan.links, kept))
+    # 2. zero each nonzero knob (default first, then per-link entries)
+    entries: list[tuple[Optional[tuple[str, str]], LinkFaults]] = [(None, plan.default)]
+    entries.extend(plan.links.items())
+    for key, faults in entries:
+        where = "default" if key is None else f"{key[0]}->{key[1]}"
+        for field in ("drop", "duplicate", "jitter"):
+            if getattr(faults, field) > 0.0:
+                yield (
+                    f"{where}.{field}=0",
+                    _with_link(plan, key, faults.replace(**{field: 0.0})),
+                )
+        if faults.reorder > 0.0:
+            yield (
+                f"{where}.reorder=0",
+                _with_link(plan, key, faults.replace(reorder=0.0, reorder_window=0.0)),
+            )
+    # 3. halve each nonzero knob
+    for key, faults in entries:
+        where = "default" if key is None else f"{key[0]}->{key[1]}"
+        for field in ("drop", "duplicate", "reorder", "jitter"):
+            value = getattr(faults, field)
+            if value > 0.0:
+                yield (
+                    f"{where}.{field}/2",
+                    _with_link(plan, key, faults.replace(**{field: value / 2.0})),
+                )
+
+
+def _with_link(
+    plan: FaultPlan, key: Optional[tuple[str, str]], faults: LinkFaults
+) -> FaultPlan:
+    if key is None:
+        return FaultPlan(faults, plan.links, plan.partitions)
+    links = dict(plan.links)
+    links[key] = faults
+    return FaultPlan(plan.default, links, plan.partitions)
+
+
+def shrink_plan(
+    plan: FaultPlan,
+    still_fails: Callable[[FaultPlan], bool],
+    max_runs: int = 40,
+) -> tuple[FaultPlan, int]:
+    """Greedy shrink: repeatedly adopt the first structurally smaller
+    plan that still fails, until none does (or the run budget is spent).
+    Returns the minimal plan found and how many candidate runs it cost."""
+    runs = 0
+    current = plan
+    progress = True
+    while progress and runs < max_runs:
+        progress = False
+        for _label, candidate in _shrink_candidates(current):
+            if runs >= max_runs:
+                break
+            runs += 1
+            if still_fails(candidate):
+                current = candidate
+                progress = True
+                break
+    return current, runs
+
+
+# ---------------------------------------------------------------------------
+# the matrix
+# ---------------------------------------------------------------------------
+def run_matrix(
+    workloads: Optional[Iterable[str]] = None,
+    seeds: Iterable[int] = (1, 2, 3),
+    plans: Optional[dict[str, FaultPlan]] = None,
+    reliable: Any = True,
+    detector: Any = False,
+    repro_dir: str = "chaos-repros",
+    verify_determinism: bool = True,
+    max_events: Optional[int] = None,
+) -> dict:
+    """Sweep seeds × fault plans × workloads; returns the report dict.
+
+    Each faulty case is compared against its fault-free twin (same seed,
+    same workload, ``faults=None`` — computed once per pair).  Failures
+    are shrunk to minimal reproducers written under ``repro_dir``.
+    """
+    names = list(workloads) if workloads is not None else list(WORKLOADS)
+    seeds = list(seeds)
+    results: list[CaseResult] = []
+    repro_files: list[str] = []
+    determinism_checked = 0
+    for wname in names:
+        workload = WORKLOADS[wname]
+        plan_table = plans if plans is not None else standard_plans(wname)
+        twins: dict[int, dict[str, tuple]] = {}
+        for seed in seeds:
+            twin_case = run_case(
+                workload, seed, None, plan_name="fault-free",
+                reliable=reliable, detector=detector, max_events=max_events,
+            )
+            if twin_case.failure is not None:
+                raise InvariantViolation(
+                    f"fault-free twin failed ({wname}, seed={seed}): "
+                    f"{twin_case.failure}"
+                )
+            twins[seed] = twin_case.committed
+        for plan_name, plan in plan_table.items():
+            for seed in seeds:
+                result = run_case(
+                    workload, seed, plan, plan_name=plan_name,
+                    reliable=reliable, detector=detector,
+                    twin=twins[seed], max_events=max_events,
+                )
+                results.append(result)
+                if verify_determinism and result.ok and seed == seeds[0]:
+                    rerun = run_case(
+                        workload, seed, plan, plan_name=plan_name,
+                        reliable=reliable, detector=detector,
+                        twin=twins[seed], max_events=max_events,
+                    )
+                    determinism_checked += 1
+                    if rerun.fingerprint != result.fingerprint:
+                        result.failure = (
+                            "nondeterministic: re-run produced a different "
+                            "trace fingerprint"
+                        )
+                if not result.ok:
+                    repro_files.append(
+                        _write_reproducer(
+                            result, workload, reliable, detector,
+                            twins[seed], repro_dir,
+                        )
+                    )
+    failures = [r for r in results if not r.ok]
+    return {
+        "cases": results,
+        "total": len(results),
+        "passed": len(results) - len(failures),
+        "failures": failures,
+        "determinism_checked": determinism_checked,
+        "repro_files": repro_files,
+    }
+
+
+def _write_reproducer(
+    result: CaseResult,
+    workload: ChaosWorkload,
+    reliable: Any,
+    detector: Any,
+    twin: dict[str, tuple],
+    repro_dir: str,
+) -> str:
+    """Shrink the failing plan and write the minimal reproducer to disk."""
+    def still_fails(candidate: FaultPlan) -> bool:
+        probe = run_case(
+            workload, result.seed, candidate, plan_name="shrink-probe",
+            reliable=reliable, detector=detector, twin=twin,
+        )
+        return probe.failure is not None
+
+    minimal, shrink_runs = (
+        shrink_plan(result.plan, still_fails)
+        if result.plan is not None
+        else (None, 0)
+    )
+    os.makedirs(repro_dir, exist_ok=True)
+    path = os.path.join(
+        repro_dir,
+        f"chaos-repro-{result.workload}-{result.plan_name}-seed{result.seed}.json",
+    )
+    payload = {
+        "workload": result.workload,
+        "seed": result.seed,
+        "failure": result.failure,
+        "plan": minimal.to_dict() if minimal is not None else None,
+        "original_plan": result.plan.to_dict() if result.plan is not None else None,
+        "shrink_runs": shrink_runs,
+        "command": (
+            f"python -m repro.cli chaos --repro {path}"
+        ),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    return path
+
+
+def run_reproducer(path: str) -> CaseResult:
+    """Re-run a reproducer file written by :func:`run_matrix`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    workload = WORKLOADS[payload["workload"]]
+    plan = FaultPlan.from_dict(payload["plan"]) if payload.get("plan") else None
+    twin_case = run_case(workload, payload["seed"], None, plan_name="fault-free")
+    return run_case(
+        workload, payload["seed"], plan,
+        plan_name="repro", twin=twin_case.committed,
+    )
+
+
+def format_report(report: dict) -> str:
+    """Human-readable matrix summary (what the CLI prints)."""
+    lines = [
+        f"chaos matrix: {report['passed']}/{report['total']} cases passed, "
+        f"{report['determinism_checked']} determinism re-runs"
+    ]
+    for result in report["cases"]:
+        stats = result.stats
+        fault_info = stats.get("faults", {})
+        lines.append(
+            f"  {result.workload:<5} seed={result.seed} plan={result.plan_name:<11} "
+            f"{'ok' if result.ok else 'FAIL':<4} "
+            f"t={result.final_time:8.2f} rollbacks={stats.get('rollbacks', 0):<3} "
+            f"dropped={fault_info.get('dropped', 0) + fault_info.get('partition_dropped', 0):<3} "
+            f"retries={stats.get('reliable', {}).get('retries', 0)}"
+        )
+        if not result.ok:
+            lines.append(f"        failure: {result.failure}")
+    for path in report["repro_files"]:
+        lines.append(f"  reproducer written: {path}")
+    return "\n".join(lines)

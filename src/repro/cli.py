@@ -23,7 +23,81 @@ from typing import Optional, Sequence
 from .lang import CheckError, check_program, compile_program, parse
 from .obs import FORMATS, MetricsRegistry
 from .runtime import HopeSystem
-from .sim import ConstantLatency, Tracer
+from .sim import ConstantLatency, FaultPlan, LinkFaults, Partition, Tracer
+
+
+def parse_partition(raw: str) -> Partition:
+    """Parse ``--partition a,b|c,d:START-HEAL`` (HEAL optional: ``5-``
+    never heals)."""
+    try:
+        groups, window = raw.rsplit(":", 1)
+        side_a, side_b = groups.split("|", 1)
+        start_text, _, heal_text = window.partition("-")
+        start = float(start_text)
+        heal = float(heal_text) if heal_text else None
+        return Partition(
+            tuple(filter(None, side_a.split(","))),
+            tuple(filter(None, side_b.split(","))),
+            start=start,
+            heal_at=heal,
+        )
+    except (ValueError, TypeError) as exc:
+        raise argparse.ArgumentTypeError(
+            f"--partition needs a,b|c,d:START-HEAL (HEAL optional), got {raw!r}: {exc}"
+        )
+
+
+def fault_plan_from_args(args) -> Optional[FaultPlan]:
+    """Build the FaultPlan the run/chaos flags describe, or None."""
+    default = LinkFaults(
+        drop=args.drop_rate,
+        duplicate=args.dup_rate,
+        reorder=args.reorder_rate,
+        reorder_window=args.reorder_window if args.reorder_rate > 0 else 0.0,
+        jitter=args.jitter,
+    )
+    partitions = tuple(args.partition)
+    if default.is_null and not partitions:
+        return None
+    return FaultPlan(default=default, partitions=partitions)
+
+
+def add_fault_arguments(parser) -> None:
+    group = parser.add_argument_group("fault injection (repro.sim.faults)")
+    group.add_argument(
+        "--drop-rate", type=float, default=0.0, metavar="P",
+        help="per-message drop probability on every link",
+    )
+    group.add_argument(
+        "--dup-rate", type=float, default=0.0, metavar="P",
+        help="per-message duplication probability",
+    )
+    group.add_argument(
+        "--reorder-rate", type=float, default=0.0, metavar="P",
+        help="per-message reorder probability",
+    )
+    group.add_argument(
+        "--reorder-window", type=float, default=5.0, metavar="T",
+        help="max extra delay for reordered messages (with --reorder-rate)",
+    )
+    group.add_argument(
+        "--jitter", type=float, default=0.0, metavar="T",
+        help="uniform extra latency in [0, T) per message",
+    )
+    group.add_argument(
+        "--partition", action="append", type=parse_partition, default=[],
+        metavar="a,b|c,d:START-HEAL",
+        help="timed partition between two process groups (repeatable; "
+        "omit HEAL to never heal)",
+    )
+    group.add_argument(
+        "--reliable", action="store_true",
+        help="ack/retry delivery with receiver dedup (repro.runtime.resilience)",
+    )
+    group.add_argument(
+        "--failure-detector", action="store_true",
+        help="heartbeat failure detector: suspected peers' pending AIDs are denied",
+    )
 
 
 class SpawnSpec:
@@ -126,6 +200,50 @@ def build_parser() -> argparse.ArgumentParser:
         default="summary",
         help="exporter for --metrics-out (default: summary)",
     )
+    add_fault_arguments(run)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="sweep seeds x fault plans over the chaos workloads "
+        "(invariants + fault-free twin equality)",
+    )
+    chaos.add_argument(
+        "--workload",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="workload to sweep (repeatable; default: all registered)",
+    )
+    chaos.add_argument(
+        "--seeds",
+        default="1,2,3",
+        metavar="S1,S2,...",
+        help="comma-separated seeds (default: 1,2,3)",
+    )
+    chaos.add_argument(
+        "--repro-dir",
+        default="chaos-repros",
+        metavar="DIR",
+        help="where minimal failing fault plans are written",
+    )
+    chaos.add_argument(
+        "--repro",
+        default=None,
+        metavar="FILE",
+        help="re-run a reproducer file instead of the matrix",
+    )
+    chaos.add_argument(
+        "--max-events", type=int, default=None, help="per-case livelock guard"
+    )
+    chaos.add_argument(
+        "--no-verify-determinism",
+        action="store_true",
+        help="skip the fingerprint re-run check",
+    )
+    chaos.add_argument(
+        "--failure-detector", action="store_true",
+        help="also run the heartbeat failure detector in every case",
+    )
     return parser
 
 
@@ -166,6 +284,7 @@ def cmd_run(args, out) -> int:
         return 1
     tracer = Tracer() if args.trace else None
     registry = MetricsRegistry() if args.metrics_out else None
+    faults = fault_plan_from_args(args)
     system = HopeSystem(
         seed=args.seed,
         latency=ConstantLatency(args.latency),
@@ -175,6 +294,9 @@ def cmd_run(args, out) -> int:
         fossil_collect=args.fossil_collect,
         fossil_interval=args.fossil_interval,
         metrics=registry,
+        faults=faults,
+        reliable=args.reliable,
+        failure_detector=args.failure_detector,
     )
     for spec in args.spawn:
         compiled.spawn(system, spec.instance, spec.process, *spec.args)
@@ -193,6 +315,28 @@ def cmd_run(args, out) -> int:
         f"wasted={stats['wasted_time']:g} guesses={stats['guesses']}",
         file=out,
     )
+    if "faults" in stats:
+        fs = stats["faults"]
+        print(
+            f"faults: dropped={fs['dropped']} duplicated={fs['duplicated']} "
+            f"reordered={fs['reordered']} partition_dropped={fs['partition_dropped']}",
+            file=out,
+        )
+    if "reliable" in stats:
+        rs = stats["reliable"]
+        print(
+            f"reliable: sent={rs['sent']} retries={rs['retries']} "
+            f"acked={rs['acked']} dup_suppressed={rs['dup_suppressed']} "
+            f"exhausted={rs['exhausted']}",
+            file=out,
+        )
+    if "detector" in stats:
+        ds = stats["detector"]
+        print(
+            f"detector: suspects={ds['suspects']} false={ds['false_suspicions']} "
+            f"denies={ds['detector_denies']}",
+            file=out,
+        )
     if tracer is not None:
         print("\ntrace:", file=out)
         print(tracer.format(), file=out)
@@ -207,11 +351,42 @@ def cmd_run(args, out) -> int:
     return 0
 
 
+def cmd_chaos(args, out) -> int:
+    from .chaos import format_report, run_matrix, run_reproducer
+
+    if args.repro is not None:
+        result = run_reproducer(args.repro)
+        print(f"reproducer {args.repro}: {result!r}", file=out)
+        if result.failure:
+            print(f"failure: {result.failure}", file=out)
+            return 1
+        print("reproducer no longer fails", file=out)
+        return 0
+    try:
+        seeds = [int(s) for s in args.seeds.split(",") if s]
+    except ValueError:
+        print(f"error: --seeds must be comma-separated ints, got {args.seeds!r}",
+              file=out)
+        return 2
+    report = run_matrix(
+        workloads=args.workload or None,
+        seeds=seeds,
+        detector=args.failure_detector,
+        repro_dir=args.repro_dir,
+        verify_determinism=not args.no_verify_determinism,
+        max_events=args.max_events,
+    )
+    print(format_report(report), file=out)
+    return 0 if not report["failures"] else 1
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
     if args.command == "check":
         return cmd_check(args.path, out)
+    if args.command == "chaos":
+        return cmd_chaos(args, out)
     return cmd_run(args, out)
 
 

@@ -6,9 +6,13 @@ Public surface:
 * :class:`HopeProcess` — the effect facade handed to process bodies;
 * :class:`AidHandle` — user-space assumption references;
 * :func:`call` — the synchronous-RPC sub-generator used by the examples;
+* :data:`TIMED_OUT` — the sentinel ``p.recv(timeout=...)`` returns when no
+  message arrives in time (compare with ``is``);
+* :mod:`repro.runtime.resilience` — reliable delivery + failure detector;
 * :mod:`repro.runtime.aid_task` — the distributed AID-task protocol mode.
 """
 
+from ..sim import TIMED_OUT
 from .api import AidHandle, CorrelationCounter, HopeProcess, aid_key, call
 from .effects import (
     AffirmEffect,
@@ -29,9 +33,28 @@ from .effects import (
 from .engine import HopeSystem, OutputRecord, ProcessRuntime, SpeculativeSpawnError
 from .messages import ReceivedMessage, RpcReply, RpcRequest, is_reply_to
 from .replay import Checkpoint, EffectLog, LogEntry, RebasePoint, ReplayDivergenceError
+from .resilience import (
+    DETECTOR_PID,
+    DetectorConfig,
+    DetectorStats,
+    HeartbeatDetector,
+    ReliableConfig,
+    ReliableDelivery,
+    ReliableStats,
+    ReliableTransport,
+)
 
 __all__ = [
     "HopeSystem",
+    "TIMED_OUT",
+    "DETECTOR_PID",
+    "DetectorConfig",
+    "DetectorStats",
+    "HeartbeatDetector",
+    "ReliableConfig",
+    "ReliableDelivery",
+    "ReliableStats",
+    "ReliableTransport",
     "HopeProcess",
     "ProcessRuntime",
     "AidHandle",

@@ -41,6 +41,8 @@ from ..sim import (
     TIMED_OUT,
     ConstantLatency,
     FailureInjector,
+    FaultPlan,
+    FaultyNetwork,
     LatencyModel,
     Network,
     RandomStreams,
@@ -72,6 +74,13 @@ from .effects import (
 )
 from .messages import ReceivedMessage
 from .replay import Checkpoint, EffectLog, RebasePoint, ShadowCheckpoint
+from .resilience import (
+    DETECTOR_PID,
+    DetectorConfig,
+    HeartbeatDetector,
+    ReliableConfig,
+    ReliableTransport,
+)
 
 
 class SpeculativeSpawnError(HopeError):
@@ -247,6 +256,29 @@ class HopeSystem:
         is subscribed and every metered branch is skipped, so the
         disabled path costs nothing (the ``NullTracer`` contract);
         traces are byte-identical with metrics on or off.
+    faults:
+        Optional :class:`repro.sim.FaultPlan`.  When given, the network
+        is a :class:`repro.sim.FaultyNetwork` applying the plan (drop /
+        duplicate / reorder / jitter / timed partitions), with every
+        probabilistic fate drawn from the dedicated seeded stream
+        ``streams["faults"]`` — faulty runs replay from their seed, and
+        enabling faults perturbs no other stream.  ``None`` (default)
+        constructs the plain reliable :class:`repro.sim.Network`: the
+        exact pre-fault-layer code path, byte-identical traces.
+    reliable:
+        ``True`` or a :class:`repro.runtime.resilience.ReliableConfig`
+        enables reliable delivery for all HOPE sends: per-message acks,
+        timeout-driven resend with capped exponential backoff, and
+        receiver-side dedup by ``msg_id``.  ``Delivery.retract`` on a
+        rolled-back sender kills in-flight copies and retries alike.
+    failure_detector:
+        ``True`` or a :class:`repro.runtime.resilience.DetectorConfig`
+        enables the heartbeat failure detector: a suspected process's
+        unresolved AIDs are denied (definite, by the ``__detector__``
+        pseudo-process) so dependents roll back instead of hanging; a
+        falsely suspected process is unsuspected on its next heartbeat
+        and its later ``affirm`` of a detector-denied AID is reconciled
+        to a no-op.
     """
 
     def __init__(
@@ -264,6 +296,9 @@ class HopeSystem:
         fossil_collect: bool = False,
         fossil_interval: int = 64,
         metrics: Optional[MetricsRegistry] = None,
+        faults: Optional[FaultPlan] = None,
+        reliable: Any = False,
+        failure_detector: Any = False,
     ) -> None:
         self.streams = RandomStreams(seed)
         if shuffle_ties:
@@ -276,7 +311,17 @@ class HopeSystem:
             )
         else:
             self.sim = Simulator()
-        self.network = Network(self.sim, latency if latency is not None else ConstantLatency(0.0))
+        latency_model = latency if latency is not None else ConstantLatency(0.0)
+        if faults is not None:
+            # The faulty network draws every probabilistic fate from its
+            # own named stream, so turning faults on perturbs none of the
+            # other streams (latency, workload, ties, ...).
+            self.network: Network = FaultyNetwork(
+                self.sim, latency_model, plan=faults,
+                stream=self.streams["faults"],
+            )
+        else:
+            self.network = Network(self.sim, latency_model)
         self.machine = Machine(strict=strict_aids)
         self.machine.subscribe(self._on_machine_event)
         self.tracer = trace if trace is not None else Tracer(categories=())
@@ -285,7 +330,9 @@ class HopeSystem:
         self._tracing = not getattr(self.tracer, "_disabled", False)
         self.timeline = Timeline()
         self.failures = FailureInjector(self.sim)
-        self.failures.attach(kill_fn=self.crash_process)
+        self.failures.attach(
+            kill_fn=self.crash_process, restart_fn=self.restart_process
+        )
         self.rollback_overhead = rollback_overhead
         #: speculation=False turns every guess into a *blocking wait* for
         #: the AID's resolution: the same program runs pessimistically —
@@ -336,6 +383,26 @@ class HopeSystem:
         else:
             self.spec_metrics = None
             self.spans = None
+        # Resilience layers (opt-in; both None keeps the engine's hot
+        # path and trace stream exactly as before).
+        if reliable is True:
+            reliable = ReliableConfig()
+        self.reliable: Optional[ReliableTransport] = (
+            ReliableTransport(self, reliable) if reliable else None
+        )
+        if failure_detector is True:
+            failure_detector = DetectorConfig()
+        #: AID key -> owning process name, tracked only when the detector
+        #: is on (it needs to know whose AIDs to deny on suspicion).
+        self._aid_owner: Optional[dict[str, str]] = (
+            {} if failure_detector else None
+        )
+        #: AID keys the detector denied — a falsely suspected process's
+        #: later affirm of one of these is reconciled to a no-op.
+        self._detector_denied: set[str] = set()
+        self.detector: Optional[HeartbeatDetector] = (
+            HeartbeatDetector(self, failure_detector) if failure_detector else None
+        )
 
     # ------------------------------------------------------------------
     # public API
@@ -350,6 +417,8 @@ class HopeSystem:
         self.network.register(name)
         proc.mailbox = self.network.mailbox(name)
         self.machine.create_process(name)
+        if self.detector is not None:
+            self.detector.on_spawn(name)
         self._start_task(proc, delay=0.0)
         self.tracer.record(self.sim.now, "spawn", name)
         return proc
@@ -396,6 +465,8 @@ class HopeSystem:
             self.spec_metrics.forget_intervals(forgotten)
             self.spans.discard(forgotten, self.sim.now)
         self.network.mailbox(name).purge()
+        if self.reliable is not None:
+            self.reliable.on_crash(name)
         # Rebase state is volatile memory: a crashed node restarts from
         # program entry, so the log resets fully (base included) and every
         # captured commit-point state dies with the incarnation.
@@ -456,11 +527,70 @@ class HopeSystem:
             "heap_compactions": self.sim.heap_compactions,
             "wasted_time": self.timeline.aggregate(Span.WASTED),
             "busy_time": self.timeline.aggregate(Span.BUSY),
+            **(
+                {"faults": self.network.fault_stats.as_dict()}
+                if isinstance(self.network, FaultyNetwork)
+                else {}
+            ),
+            **(
+                {"reliable": self.reliable.stats.as_dict()}
+                if self.reliable is not None
+                else {}
+            ),
+            **(
+                {"detector": self.detector.stats.as_dict()}
+                if self.detector is not None
+                else {}
+            ),
         }
 
     def pending_aids(self) -> list[AssumptionId]:
         """AIDs never affirmed or denied — a smell for stuck programs."""
         return [a for a in self.machine.aids.values() if a.pending]
+
+    # ------------------------------------------------------------------
+    # failure-detector support
+    # ------------------------------------------------------------------
+    def _deny_owned_aids(self, name: str) -> int:
+        """Issue a definite deny for every unresolved AID ``name`` owns
+        (the detector's suspicion action).  Returns how many were denied.
+
+        Denies are authored by the ``__detector__`` machine pseudo-process
+        — never speculative, so they are definite and cascade (Eq 15/24),
+        rolling dependents back instead of leaving them stranded.
+        """
+        if self._aid_owner is None:
+            return 0
+        denied = 0
+        for key, owner in list(self._aid_owner.items()):
+            if owner != name:
+                continue
+            aid = self.machine.aids.get(key)
+            if aid is None:
+                # Retired by fossil collection — prune the owner entry.
+                del self._aid_owner[key]
+                continue
+            if not aid.pending:
+                continue
+            self._detector_denied.add(key)
+            self.machine.deny(DETECTOR_PID, aid)
+            denied += 1
+            if self._tracing:
+                self.tracer.record(
+                    self.sim.now, "detector_deny", name, aid=key
+                )
+        return denied
+
+    def _owner_has_pending_aids(self, name: str) -> bool:
+        if self._aid_owner is None:
+            return False
+        for key, owner in self._aid_owner.items():
+            if owner != name:
+                continue
+            aid = self.machine.aids.get(key)
+            if aid is not None and aid.pending:
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # observability (repro.obs)
@@ -486,6 +616,25 @@ class HopeSystem:
         spec.resolve_cache_misses.set(machine_stats["resolve_cache_misses"])
         spec.messages_sent.set(self.network.messages_sent)
         spec.sim_events.set(self.sim.events_processed)
+        if isinstance(self.network, FaultyNetwork):
+            fault_stats = self.network.fault_stats
+            spec.net_dropped.set(fault_stats.dropped)
+            spec.net_duplicated.set(fault_stats.duplicated)
+            spec.net_reordered.set(fault_stats.reordered)
+            spec.net_partition_dropped.set(fault_stats.partition_dropped)
+            spec.acks_dropped.set(fault_stats.acks_dropped)
+        if self.reliable is not None:
+            rel = self.reliable.stats
+            spec.retries.set(rel.retries)
+            spec.acks_sent.set(rel.acks_sent)
+            spec.dup_suppressed.set(rel.dup_suppressed)
+            spec.retry_exhausted.set(rel.exhausted)
+        if self.detector is not None:
+            det = self.detector.stats
+            spec.suspects.set(det.suspects)
+            spec.false_suspicions.set(det.false_suspicions)
+            spec.detector_denies.set(det.detector_denies)
+            spec.reconciled_affirms.set(det.reconciled_affirms)
         return self.metrics
 
     def export_metrics(self, fmt: str = "summary") -> str:
@@ -632,6 +781,8 @@ class HopeSystem:
         handle user code still reaches (a late ``guess`` looks it up)."""
         pinned: set = set(self._handles.keys())
         pinned.update(self.network.pinned_tag_keys())
+        if self.reliable is not None:
+            pinned.update(self.reliable.pinned_tag_keys())
         for name, proc in self.procs.items():
             record = self.machine.processes.get(name)
             if record is None:
@@ -709,6 +860,8 @@ class HopeSystem:
         aid = self.machine.aid_init(effect.name)
         handle = AidHandle(aid.key, effect.name)
         self._handles[aid.key] = handle
+        if self._aid_owner is not None:
+            self._aid_owner[aid.key] = proc.name
         proc.log.append("aid_init", handle)
         if self._tracing:
             self.tracer.record(self.sim.now, "aid_init", proc.name, aid=aid.key)
@@ -744,6 +897,36 @@ class HopeSystem:
 
     def _do_resolution(self, proc, task, effect) -> None:
         """affirm / deny / free_of share the may-roll-back-self pattern."""
+        if self._detector_denied and effect.aid_key in self._detector_denied:
+            if isinstance(effect, AffirmEffect):
+                # False-suspicion reconciliation: the detector already
+                # issued a definite deny for this AID, and definite
+                # resolutions are immutable (§5) — the process was fenced
+                # out.  Its affirm becomes a traced no-op rather than a
+                # resolution conflict; it re-reached this statement via
+                # the deny's own rollback, on the pessimistic branch.
+                if self.detector is not None:
+                    self.detector.stats.reconciled_affirms += 1
+                if self._tracing:
+                    self.tracer.record(
+                        self.sim.now, "reconcile_affirm", proc.name,
+                        aid=effect.aid_key,
+                    )
+                proc.log.append(effect.kind, None)
+                task.resume_now(None)
+                return
+            if isinstance(effect, DenyEffect):
+                # Same direction as the detector's deny: duplicate
+                # resolutions are no-ops in lenient mode, and harmless to
+                # short-circuit in strict mode too.
+                proc.log.append(effect.kind, None)
+                if self._tracing:
+                    self.tracer.record(
+                        self.sim.now, effect.kind, proc.name,
+                        aid=effect.aid_key, status="denied",
+                    )
+                task.resume_now(None)
+                return
         aid = self.machine.aid(effect.aid_key)
         before = proc.incarnation
         if isinstance(effect, AffirmEffect):
@@ -768,10 +951,17 @@ class HopeSystem:
         current = self.machine.processes[proc.name].current
         ido = current.ido if current is not None else self.machine.depsets.empty
         tags = ido.tag_keys           # interned: O(1) after the first send
-        delivery = self.network.send(proc.name, effect.dst, effect.payload, tags=tags)
+        if self.reliable is not None:
+            msg_id, delivery = self.reliable.send(
+                proc.name, effect.dst, effect.payload, tags
+            )
+        else:
+            delivery = self.network.send(
+                proc.name, effect.dst, effect.payload, tags=tags
+            )
+            msg_id = delivery.message.msg_id
         if current is not None:
             current.meta.setdefault("sent", []).append(delivery)
-        msg_id = delivery.message.msg_id
         proc.log.append("send", msg_id)
         if self._tracing:
             self.tracer.record(

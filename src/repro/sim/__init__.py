@@ -28,6 +28,15 @@ from .process import (
     default_effect_handler,
 )
 from .channel import Delivery, Mailbox, Message, Network, UnknownEndpointError
+from .faults import (
+    DETECTOR_ENDPOINT,
+    NO_FAULTS,
+    FaultPlan,
+    FaultStats,
+    FaultyNetwork,
+    LinkFaults,
+    Partition,
+)
 from .latency import (
     ConstantLatency,
     ExponentialLatency,
@@ -65,6 +74,13 @@ __all__ = [
     "Network",
     "Delivery",
     "UnknownEndpointError",
+    "DETECTOR_ENDPOINT",
+    "NO_FAULTS",
+    "FaultPlan",
+    "FaultStats",
+    "FaultyNetwork",
+    "LinkFaults",
+    "Partition",
     "LatencyModel",
     "ConstantLatency",
     "UniformLatency",

@@ -250,6 +250,12 @@ class Network:
         #: them).  Untagged messages never enter; retracted ones are
         #: swept lazily by :meth:`pinned_tag_keys`.
         self._inflight_tagged: dict[int, Message] = {}
+        #: Optional arrival interceptor: called with each live message the
+        #: instant it reaches the destination mailbox, before ``put``.
+        #: Return False to suppress delivery (the reliable-delivery layer
+        #: uses this for receiver-side dedup and to model a crashed node
+        #: dropping arrivals).  None keeps the exact pre-hook fast path.
+        self.deliver_hook: Optional[Callable[[Message], bool]] = None
 
     def register(self, name: str) -> Mailbox:
         """Create (or fetch) the mailbox for endpoint ``name``."""
@@ -275,34 +281,62 @@ class Network:
         payload: Any,
         tags: Optional[frozenset] = None,
         latency_override: Optional[float] = None,
+        msg_id: Optional[int] = None,
     ) -> Delivery:
-        """Send ``payload`` from ``src`` to ``dst``; returns a retractable handle."""
+        """Send ``payload`` from ``src`` to ``dst``; returns a retractable handle.
+
+        ``msg_id`` lets a retransmission reuse the original id so the
+        receiver can dedup; fresh sends leave it None for an auto id.
+        """
         box = self.mailbox(dst)
         # message ids are per-network so equal seeds replay identically
         message = Message(
             src, dst, payload, tags,
             send_time=self.sim.now,
-            msg_id=self.messages_sent + 1,
+            msg_id=msg_id if msg_id is not None else self.messages_sent + 1,
         )
         delay = (
             latency_override
             if latency_override is not None
             else self.latency.sample(src, dst)
         )
-        if message.tags:
-            self._inflight_tagged[message.msg_id] = message
-            event = self.sim.schedule(
-                delay, self._deliver_tagged, box, message, label=f"deliver:{src}->{dst}"
-            )
-        else:
-            event = self.sim.schedule(delay, box.put, message, label=f"deliver:{src}->{dst}")
+        event = self._schedule_delivery(box, message, delay)
         self.messages_sent += 1
         self.tag_count_total += len(message.tags)
         return Delivery(message, event)
 
+    def _schedule_delivery(
+        self, box: Mailbox, message: Message, delay: float
+    ) -> Optional[ScheduledEvent]:
+        """Schedule one delivery of ``message`` — the fault-injection seam.
+
+        :class:`repro.sim.faults.FaultyNetwork` overrides this to drop,
+        duplicate, reorder, and jitter; the base class delivers exactly
+        once after ``delay``.
+        """
+        label = f"deliver:{message.src}->{message.dst}"
+        if message.tags:
+            self._inflight_tagged[message.msg_id] = message
+            return self.sim.schedule(delay, self._deliver_tagged, box, message, label=label)
+        if self.deliver_hook is not None:
+            return self.sim.schedule(delay, self._put, box, message, label=label)
+        return self.sim.schedule(delay, box.put, message, label=label)
+
     def _deliver_tagged(self, box: Mailbox, message: Message) -> None:
         self._inflight_tagged.pop(message.msg_id, None)
+        self._put(box, message)
+
+    def _put(self, box: Mailbox, message: Message) -> None:
+        hook = self.deliver_hook
+        if hook is not None and not message.dead and not hook(message):
+            return
         box.put(message)
+
+    def control_fate(self, src: str, dst: str) -> tuple[bool, float]:
+        """Fate of a control datagram (ack/heartbeat) on the ``src -> dst``
+        link: ``(lost, delay)``.  The reliable network never loses one;
+        :class:`~repro.sim.faults.FaultyNetwork` applies its fault plan."""
+        return (False, self.latency.sample(src, dst))
 
     def pinned_tag_keys(self) -> set:
         """Union of AID tag keys the network still needs resolvable:

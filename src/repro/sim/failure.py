@@ -10,22 +10,41 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from .kernel import ScheduledEvent, Simulator
+from .kernel import ScheduledEvent, SimulationError, Simulator
 from .random import RandomStream
 
 
 class CrashRecord:
-    """One injected crash: who, when, and whether a restart was requested."""
+    """One injected crash: who, when, and whether a restart was requested.
 
-    __slots__ = ("process", "time", "restarted")
+    ``restart_requested`` records the caller's intent (``restart_after``
+    was passed); ``restarted`` records whether a restart was actually
+    scheduled.  They can only differ if the restart hook disappears
+    between scheduling and firing — :meth:`FailureInjector.crash_at`
+    rejects a restart request with no hook attached up front.
+    """
 
-    def __init__(self, process: str, time: float, restarted: bool) -> None:
+    __slots__ = ("process", "time", "restarted", "restart_requested")
+
+    def __init__(
+        self,
+        process: str,
+        time: float,
+        restarted: bool,
+        restart_requested: bool = False,
+    ) -> None:
         self.process = process
         self.time = time
         self.restarted = restarted
+        self.restart_requested = restart_requested
 
     def __repr__(self) -> str:
-        suffix = " restarted" if self.restarted else ""
+        if self.restarted:
+            suffix = " restarted"
+        elif self.restart_requested:
+            suffix = " restart-requested"
+        else:
+            suffix = ""
         return f"<Crash {self.process!r} t={self.time:.4f}{suffix}>"
 
 
@@ -58,8 +77,15 @@ class FailureInjector:
         """Crash ``process`` at absolute virtual ``time``.
 
         If ``restart_after`` is given, the process restarts that many time
-        units after the crash (requires a ``restart_fn``).
+        units after the crash.  That requires a ``restart_fn``: asking for
+        a restart with none attached raises immediately, rather than
+        silently producing a run where the process stays dead.
         """
+        if restart_after is not None and self._restart_fn is None:
+            raise SimulationError(
+                f"crash_at({process!r}, restart_after={restart_after}) needs a "
+                "restart_fn: call attach(kill_fn, restart_fn=...) first"
+            )
         self._pending.append(
             self.sim.schedule_at(
                 time, self._do_crash, process, restart_after, label=f"crash:{process}"
@@ -98,7 +124,14 @@ class FailureInjector:
             raise RuntimeError("FailureInjector.attach() was never called")
         self._kill_fn(process)
         will_restart = restart_after is not None and self._restart_fn is not None
-        self.crashes.append(CrashRecord(process, self.sim.now, will_restart))
+        self.crashes.append(
+            CrashRecord(
+                process,
+                self.sim.now,
+                will_restart,
+                restart_requested=restart_after is not None,
+            )
+        )
         if will_restart:
             assert restart_after is not None
             self.sim.schedule(

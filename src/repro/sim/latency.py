@@ -10,8 +10,9 @@ seeded simulation replays identically.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Iterator, Optional, Protocol
+from typing import Iterable, Optional, Protocol
 
+from .kernel import SimulationError
 from .random import RandomStream
 
 
@@ -78,28 +79,38 @@ class ExponentialLatency:
 
 
 class SequenceLatency:
-    """Latencies taken from a fixed sequence; cycles when exhausted.
+    """Latencies taken from a fixed sequence.
 
     Handy in tests that need to force a specific message race (e.g. the
-    Figure 2 scenario where S3's message overtakes S1's).
+    Figure 2 scenario where S3's message overtakes S1's).  By default the
+    sequence cycles when exhausted; with ``cycle=False`` exhaustion raises
+    a :class:`~repro.sim.kernel.SimulationError` naming the link that
+    drew one sample too many — for scripted scenarios where an extra
+    message means the script itself is wrong.
     """
 
-    def __init__(self, values: Iterable[float]) -> None:
+    def __init__(self, values: Iterable[float], cycle: bool = True) -> None:
         self._values = [float(v) for v in values]
         if not self._values:
             raise ValueError("SequenceLatency needs at least one value")
         if any(v < 0 for v in self._values):
             raise ValueError("latencies must be >= 0")
-        self._iter: Iterator[float] = iter(())
+        self._cycle = cycle
         self._position = 0
 
     def sample(self, src: str, dst: str) -> float:
+        if self._position >= len(self._values) and not self._cycle:
+            raise SimulationError(
+                f"SequenceLatency exhausted its {len(self._values)} value(s) "
+                f"on link {src!r}->{dst!r} (pass cycle=True to wrap around)"
+            )
         value = self._values[self._position % len(self._values)]
         self._position += 1
         return value
 
     def __repr__(self) -> str:
-        return f"SequenceLatency({self._values!r})"
+        suffix = "" if self._cycle else ", cycle=False"
+        return f"SequenceLatency({self._values!r}{suffix})"
 
 
 class LinkLatency:

@@ -1,0 +1,308 @@
+"""Tests for reliable delivery and the heartbeat failure detector."""
+
+import pytest
+
+from repro.runtime import (
+    DetectorConfig,
+    HopeSystem,
+    ReliableConfig,
+    TIMED_OUT,
+)
+from repro.sim import ConstantLatency, FaultPlan, LinkFaults, Partition, Tracer
+
+
+def ping_system(n=5, drop=0.0, seed=1, **kwargs):
+    if drop > 0:
+        kwargs["faults"] = FaultPlan(default=LinkFaults(drop=drop))
+    system = HopeSystem(seed=seed, latency=ConstantLatency(1.0), **kwargs)
+
+    def sender(p):
+        for i in range(n):
+            yield p.send("rx", i)
+            yield p.compute(1.0)
+        return n
+
+    def receiver(p):
+        got = []
+        for _ in range(n):
+            msg = yield p.recv()
+            got.append(msg.payload)
+            yield p.emit(msg.payload)
+        return got
+
+    system.spawn("tx", sender)
+    system.spawn("rx", receiver)
+    return system
+
+
+# ---------------------------------------------------------------- config
+def test_reliable_config_validation():
+    with pytest.raises(ValueError):
+        ReliableConfig(ack_timeout=0)
+    with pytest.raises(ValueError):
+        ReliableConfig(backoff=0.5)
+    with pytest.raises(ValueError):
+        ReliableConfig(ack_timeout=10.0, max_backoff=5.0)
+    with pytest.raises(ValueError):
+        ReliableConfig(max_attempts=0)
+
+
+def test_detector_config_validation():
+    with pytest.raises(ValueError):
+        DetectorConfig(interval=0)
+    with pytest.raises(ValueError):
+        DetectorConfig(interval=5.0, timeout=5.5, latency=1.0)
+
+
+# ---------------------------------------------------------------- delivery
+def test_retries_bridge_a_lossy_link():
+    system = ping_system(n=8, drop=0.4, seed=3, reliable=True)
+    system.run(max_events=100_000)
+    # at-least-once, not ordered: a dropped message's retry can land
+    # after later sends
+    assert sorted(system.result_of("rx")) == list(range(8))
+    stats = system.stats()["reliable"]
+    assert stats["retries"] > 0
+    assert system.stats()["faults"]["dropped"] > 0
+
+
+def test_duplicates_are_suppressed():
+    plan = FaultPlan(default=LinkFaults(duplicate=1.0))
+    system = HopeSystem(
+        seed=1, latency=ConstantLatency(1.0), faults=plan, reliable=True
+    )
+
+    def sender(p):
+        for i in range(4):
+            yield p.send("rx", i)
+
+    def receiver(p):
+        got = []
+        for _ in range(4):
+            msg = yield p.recv()
+            got.append(msg.payload)
+        extra = yield p.recv(timeout=30.0)
+        assert extra is TIMED_OUT, "a duplicate leaked through dedup"
+        return got
+
+    system.spawn("tx", sender)
+    system.spawn("rx", receiver)
+    system.run(max_events=100_000)
+    assert system.result_of("rx") == [0, 1, 2, 3]
+    assert system.stats()["reliable"]["dup_suppressed"] >= 4
+
+
+def test_exhaustion_abandons_unreachable_peer():
+    plan = FaultPlan(default=LinkFaults(drop=1.0))
+    system = HopeSystem(
+        seed=1,
+        latency=ConstantLatency(1.0),
+        faults=plan,
+        reliable=ReliableConfig(ack_timeout=1.0, max_backoff=1.0, max_attempts=3),
+    )
+
+    def sender(p):
+        yield p.send("rx", "never-arrives")
+
+    def receiver(p):
+        msg = yield p.recv(timeout=100.0)
+        return msg is TIMED_OUT
+
+    system.spawn("tx", sender)
+    system.spawn("rx", receiver)
+    system.run(max_events=100_000)
+    assert system.result_of("rx") is True
+    stats = system.stats()["reliable"]
+    assert stats["exhausted"] == 1
+    assert stats["retries"] == 2  # attempts 2 and 3
+
+
+def test_rollback_retracts_acked_reliable_send():
+    """The chaos-harness regression: an ack must not immunize a send
+    against its sender's later rollback — the consumed message has to go
+    dead or the receiver double-counts the re-executed send."""
+    system = HopeSystem(seed=1, latency=ConstantLatency(1.0), reliable=True)
+
+    def guesser(p):
+        x = yield p.aid_init("x")
+        yield p.send("judge", x)
+        if (yield p.guess(x)):
+            yield p.send("rx", "speculative")   # acked, then retracted
+        else:
+            yield p.send("rx", "pessimistic")
+        return "done"
+
+    def judge(p):
+        msg = yield p.recv()
+        yield p.compute(20.0)                   # let the ack land first
+        yield p.deny(msg.payload)
+
+    def receiver(p):
+        got = []
+        while True:
+            msg = yield p.recv(timeout=100.0)
+            if msg is TIMED_OUT:
+                return got
+            got.append(msg.payload)
+
+    system.spawn("g", guesser)
+    system.spawn("judge", judge)
+    system.spawn("rx", receiver)
+    system.run(max_events=100_000)
+    assert system.result_of("rx") == ["pessimistic"]
+
+
+def test_sender_crash_stops_retries_without_retracting():
+    plan = FaultPlan(default=LinkFaults(drop=1.0))
+    system = HopeSystem(
+        seed=1,
+        latency=ConstantLatency(1.0),
+        faults=plan,
+        reliable=ReliableConfig(ack_timeout=5.0, max_attempts=10),
+    )
+
+    def sender(p):
+        yield p.send("rx", "black-holed")
+        yield p.compute(100.0)
+
+    def receiver(p):
+        msg = yield p.recv(timeout=200.0)
+        return msg is TIMED_OUT
+
+    system.spawn("tx", sender)
+    system.spawn("rx", receiver)
+    system.failures.crash_at("tx", 12.0)
+    system.run(max_events=100_000)
+    assert system.result_of("rx") is True
+    stats = system.stats()["reliable"]
+    # the crash closed the pending record: retries stop at the crash time
+    assert stats["retries"] <= 2
+    assert stats["exhausted"] == 0
+
+
+# ---------------------------------------------------------------- detector
+def detector_scenario(crash_time=None, **kwargs):
+    """An owner guesses and goes silent; a dependent consumes the tagged
+    message and waits on a second message that never comes unless the
+    detector denies the owner's AID."""
+    system = HopeSystem(
+        seed=1,
+        latency=ConstantLatency(1.0),
+        failure_detector=DetectorConfig(interval=4.0, timeout=10.0, latency=1.0),
+        **kwargs,
+    )
+
+    def owner(p):
+        x = yield p.aid_init("x")
+        yield p.guess(x)
+        yield p.send("dep", "speculative-hint")
+        yield p.compute(200.0)                  # never resolves in time
+        yield p.affirm(x)
+        return "owner-done"
+
+    def dep(p):
+        msg = yield p.recv(timeout=50.0)
+        if msg is TIMED_OUT:
+            # post-deny re-execution: the hint died with the speculation
+            yield p.emit("no-hint")
+            return "dep-done"
+        # consumed the speculative hint; the follow-up never arrives
+        yield p.recv(timeout=100.0)
+        yield p.emit(("fallback", msg.payload))
+        return "dep-done"
+
+    system.spawn("owner", owner)
+    system.spawn("dep", dep)
+    if crash_time is not None:
+        system.failures.crash_at("owner", crash_time)
+    return system
+
+
+def test_detector_denies_crashed_owners_aids():
+    system = detector_scenario(crash_time=3.0)
+    system.run(max_events=100_000)
+    # the dependent rolled back (its consumed message died) and finished
+    assert system.result_of("dep") == "dep-done"
+    stats = system.stats()["detector"]
+    assert stats["suspects"] >= 1
+    assert stats["detector_denies"] >= 1
+    assert stats["false_suspicions"] == 0
+    assert system.stats()["rollbacks"] >= 1
+    assert not system.pending_aids()
+
+
+def test_detector_run_terminates_after_suspicion():
+    system = detector_scenario(crash_time=3.0)
+    final = system.run(max_events=100_000)
+    # the detector's own heartbeat loop must not keep the run alive
+    assert final < 500.0
+
+
+def test_false_suspicion_reconciles_late_affirm():
+    """A partitioned (not crashed) owner is suspected and its AID denied;
+    when it heals, its affirm of the detector-denied AID must reconcile
+    to a no-op instead of raising a resolution conflict."""
+    # owner alone vs two peers: owner is the minority, so its heartbeats
+    # are the ones the cut swallows
+    plan = FaultPlan(
+        partitions=(
+            Partition(("owner",), ("dep", "bystander"), start=1.0, heal_at=60.0),
+        )
+    )
+    system = HopeSystem(
+        seed=1,
+        latency=ConstantLatency(1.0),
+        faults=plan,
+        reliable=True,
+        failure_detector=DetectorConfig(interval=4.0, timeout=10.0, latency=1.0),
+    )
+
+    def owner(p):
+        x = yield p.aid_init("x")
+        yield p.guess(x)
+        yield p.compute(80.0)                    # silent past the timeout
+        yield p.affirm(x)                        # reconciled: already denied
+        return "owner-done"
+
+    def dep(p):
+        return "dep-done"
+        yield  # pragma: no cover
+
+    def bystander(p):
+        yield p.compute(1.0)
+        return "bystander-done"
+
+    system.spawn("owner", owner)
+    system.spawn("dep", dep)
+    system.spawn("bystander", bystander)
+    system.run(max_events=100_000)
+    assert system.result_of("owner") == "owner-done"
+    stats = system.stats()["detector"]
+    assert stats["suspects"] >= 1
+    assert stats["detector_denies"] >= 1
+    assert stats["false_suspicions"] >= 1
+    assert stats["reconciled_affirms"] >= 1
+
+
+# ---------------------------------------------------------------- purity
+def test_disabled_layers_leave_traces_byte_identical():
+    """faults=None + reliable=False + failure_detector=False must be
+    byte-identical to a build that predates the whole resilience layer —
+    checked against a plain run's fingerprint."""
+    def run(**kwargs):
+        tracer = Tracer()
+        system = ping_system(n=6, trace=tracer, **kwargs)
+        system.run(max_events=100_000)
+        return tracer.fingerprint()
+
+    assert run() == run(faults=None, reliable=False, failure_detector=False)
+
+
+def test_faulty_run_replays_byte_identically():
+    def run():
+        tracer = Tracer()
+        system = ping_system(n=6, drop=0.3, seed=5, reliable=True, trace=tracer)
+        system.run(max_events=100_000)
+        return tracer.fingerprint()
+
+    assert run() == run()

@@ -184,3 +184,59 @@ def test_network_statistics():
     net.send("tx", "rx", 1)
     net.send("tx", "rx", 2)
     assert net.messages_sent == 2
+
+
+def test_retract_after_receipt_keeps_message_dead_for_redelivery_checks():
+    """The rollback path: a consumed message retracted later must read as
+    dead, so a rolled-back receiver refuses to redeliver it."""
+    sim, net = make_net(ConstantLatency(1.0))
+    box = net.register("rx")
+    got = []
+
+    def receiver(env):
+        msg = yield Recv(box)
+        got.append(msg)
+
+    Task(sim, "rx", receiver).start()
+    delivery = net.send("tx", "rx", "consumed")
+    sim.run()
+    assert [m.payload for m in got] == ["consumed"]
+    assert not got[0].dead
+    delivery.retract()                 # sender rolled back after receipt
+    assert got[0].dead
+    delivery.retract()                 # idempotent: double retraction is safe
+    assert got[0].dead
+
+
+def test_requeue_front_skips_dead_messages_and_keeps_order():
+    """Un-receiving after a rollback: dead messages vanish from the
+    requeued batch while live ones land ahead of the queued tail, in
+    their original order."""
+    sim, net = make_net(ConstantLatency(0.0))
+    box = net.register("rx")
+    first = net.send("tx", "rx", "a")
+    second = net.send("tx", "rx", "b")
+    third = net.send("tx", "rx", "c")
+    sim.run()
+    net.send("tx", "rx", "tail")
+    sim.run()
+    # un-receive a, b, c; b's sender rolled back in the meantime
+    consumed = [first.message, second.message, third.message]
+    for message in consumed:
+        box._queue.remove(message)
+    second.retract()
+    box.requeue_front(consumed)
+    assert [m.payload for m in box.peek_all()] == ["a", "c", "tail"]
+
+
+def test_purge_then_requeue_front_of_dead_batch_leaves_box_empty():
+    sim, net = make_net(ConstantLatency(0.0))
+    box = net.register("rx")
+    deliveries = [net.send("tx", "rx", i) for i in range(3)]
+    sim.run()
+    messages = box.peek_all()
+    assert box.purge() == 3
+    for delivery in deliveries:
+        delivery.retract()
+    box.requeue_front(messages)
+    assert len(box) == 0

@@ -4,6 +4,7 @@ import pytest
 
 from repro.sim import (
     ConstantLatency,
+    CrashRecord,
     ExponentialLatency,
     FailureInjector,
     LinkLatency,
@@ -286,3 +287,60 @@ def test_timeline_aggregate():
     timeline.close_all(5.0)
     assert timeline.aggregate(Span.BUSY) == pytest.approx(5.0 + 4.0)
     assert timeline.names() == ["a", "b"]
+
+
+# ------------------------------------------------- latency exhaustion
+def test_sequence_latency_cycle_false_serves_exact_count():
+    model = SequenceLatency([1.0, 2.0, 3.0], cycle=False)
+    assert [model.sample("a", "b") for _ in range(3)] == [1.0, 2.0, 3.0]
+
+
+def test_sequence_latency_exhaustion_raises_naming_link():
+    from repro.sim import SimulationError
+
+    model = SequenceLatency([1.0, 2.0], cycle=False)
+    model.sample("a", "b")
+    model.sample("a", "b")
+    with pytest.raises(SimulationError) as exc:
+        model.sample("src", "dst")
+    assert "'src'->'dst'" in str(exc.value)
+    assert "2 value(s)" in str(exc.value)
+    assert "cycle=True" in str(exc.value)
+
+
+def test_sequence_latency_repr_shows_cycle_flag():
+    assert "cycle=False" in repr(SequenceLatency([1.0], cycle=False))
+    assert "cycle=False" not in repr(SequenceLatency([1.0]))
+
+
+# ------------------------------------------------- crash/restart contract
+def test_crash_at_with_restart_but_no_restart_fn_raises_at_schedule_time():
+    from repro.sim import SimulationError
+
+    sim = Simulator()
+    injector = FailureInjector(sim)
+    injector.attach(kill_fn=lambda p: None)  # no restart_fn
+    with pytest.raises(SimulationError) as exc:
+        injector.crash_at("victim", 2.0, restart_after=3.0)
+    assert "restart_fn" in str(exc.value)
+    assert "victim" in str(exc.value)
+    # nothing was scheduled: the run must not crash anyone
+    sim.run()
+    assert injector.crash_count() == 0
+
+
+def test_crash_record_marks_restart_requested():
+    sim = Simulator()
+    injector = FailureInjector(sim)
+    injector.attach(kill_fn=lambda p: None, restart_fn=lambda p: None)
+    injector.crash_at("victim", 1.0, restart_after=2.0)
+    injector.crash_at("other", 1.0)
+    sim.run()
+    by_name = {record.process: record for record in injector.crashes}
+    assert by_name["victim"].restart_requested
+    assert by_name["victim"].restarted
+    assert "restarted" in repr(by_name["victim"])
+    assert not by_name["other"].restart_requested
+    # the requested-but-not-yet-restarted state is the repr's third face
+    pending = CrashRecord("p", 1.0, restarted=False, restart_requested=True)
+    assert "restart-requested" in repr(pending)
