@@ -1,0 +1,204 @@
+"""Experiment EVSEC: event-kernel throughput — heap vs wheel vs bare.
+
+Headline metric for the timer-wheel kernel: events per second.  Two
+layers are measured:
+
+* *raw kernel* — three scheduling shapes on the bare ``Simulator``,
+  run under both ``kernel="heap"`` and ``kernel="wheel"``:
+
+  - ``chain``    each event schedules its successor (deep, sparse queue;
+                 exercises the wheel's sparse fast path),
+  - ``fanout``   all events scheduled up front across mixed timescales
+                 (wide queue; exercises bucketing and cascades),
+  - ``cancel``   schedule/cancel churn (exercises O(1) unlink vs the
+                 heap's lazy-delete + compaction sweeps);
+
+* *end to end* — the TRACK ping-pong, bare simulator vs the full HOPE
+  runtime on each kernel.  ``hope_wall / bare_wall`` is the overhead
+  ratio this PR drives from ~1.8 to ≤1.4; batched effect dispatch also
+  roughly halves the *number* of events HOPE schedules per message.
+
+Wall times are min-of-``REPEATS`` with the contenders interleaved per
+rep, so a machine-speed swing hits all of them alike.  Event counts are
+asserted identical between kernels — throughput must never be bought
+with a different execution order.
+"""
+
+import importlib.util
+import os
+import random
+import time
+
+from repro.sim import Simulator
+from repro.bench import emit, emit_json, format_table, sweep
+
+N_EVENTS = 20_000
+N_MESSAGES = 200
+REPEATS = 5
+
+#: Pre-wheel baselines, measured at the parent commit (binary-heap
+#: kernel, per-message resume events): the TRACK n=200 overhead ratio,
+#: and the number of simulator events HOPE scheduled for the n=200
+#: ping-pong.  Recorded as the "before" of this PR's before/after.
+PRE_WHEEL_RATIO = 1.785
+PRE_BATCHING_HOPE_EVENTS = 802
+
+
+def _noop():
+    pass
+
+
+def _chain(sim: Simulator, n: int) -> None:
+    remaining = [n]
+
+    def step() -> None:
+        remaining[0] -= 1
+        if remaining[0]:
+            sim.schedule(0.37, step)
+
+    sim.schedule(0.0, step)
+
+
+def _fanout(sim: Simulator, n: int) -> None:
+    rng = random.Random(7)
+    for _ in range(n):
+        sim.schedule(rng.random() * rng.choice([1.0, 50.0, 3000.0]), _noop)
+
+
+def _cancel(sim: Simulator, n: int) -> None:
+    rng = random.Random(11)
+    handles = []
+    for i in range(n):
+        handles.append(sim.schedule(rng.random() * 100.0, _noop))
+        if i % 2:
+            handles.pop(rng.randrange(len(handles))).cancel()
+
+
+SHAPES = {"chain": _chain, "fanout": _fanout, "cancel": _cancel}
+
+
+def run_point(shape: str, n: int = N_EVENTS, repeats: int = REPEATS) -> dict:
+    """Time one scheduling shape under both kernels, interleaved per rep.
+
+    The clock covers scheduling *and* draining — schedule/cancel cost is
+    precisely what the wheel changes, so it must be inside the window.
+    """
+    build = SHAPES[shape]
+    walls: dict = {"heap": [], "wheel": []}
+    events: dict = {}
+    for _ in range(repeats):
+        for kernel in ("heap", "wheel"):
+            sim = Simulator(kernel=kernel)
+            start = time.perf_counter()
+            build(sim, n)
+            sim.run()
+            walls[kernel].append(time.perf_counter() - start)
+            events[kernel] = sim.events_processed
+    assert events["heap"] == events["wheel"], shape
+    heap_eps = events["heap"] / min(walls["heap"])
+    wheel_eps = events["wheel"] / min(walls["wheel"])
+    return {
+        "events": events["wheel"],
+        "heap_kev_s": heap_eps / 1000,
+        "wheel_kev_s": wheel_eps / 1000,
+        "speedup": wheel_eps / heap_eps,
+    }
+
+
+def _load_track():
+    path = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "bench_tracking_overhead.py"
+    )
+    spec = importlib.util.spec_from_file_location("bench_tracking_overhead", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def end_to_end(n: int = N_MESSAGES, repeats: int = REPEATS) -> dict:
+    """Bare simulator vs HOPE-on-heap vs HOPE-on-wheel, same ping-pong."""
+    track = _load_track()
+    bares, heaps, wheels = [], [], []
+    for _ in range(repeats):
+        bares.append(track._bare_pingpong(n))
+        heaps.append(track._hope_pingpong(n, speculative=False, kernel="heap"))
+        wheels.append(track._hope_pingpong(n, speculative=False, kernel="wheel"))
+    bare_wall = min(r["wall_s"] for r in bares)
+    heap_wall = min(r["wall_s"] for r in heaps)
+    wheel_wall = min(r["wall_s"] for r in wheels)
+    return {
+        "bare_events": bares[0]["events"],
+        "hope_events": wheels[0]["events"],
+        "bare_kev_s": bares[0]["events"] / bare_wall / 1000,
+        "hope_heap_kev_s": heaps[0]["events"] / heap_wall / 1000,
+        "hope_wheel_kev_s": wheels[0]["events"] / wheel_wall / 1000,
+        "overhead_ratio": wheel_wall / bare_wall,
+        "pre_wheel_ratio": PRE_WHEEL_RATIO,
+        "improvement": PRE_WHEEL_RATIO / (wheel_wall / bare_wall),
+    }
+
+
+def test_events_per_sec(benchmark):
+    kernel_result = sweep("shape", sorted(SHAPES), run_point)
+    kernel_metrics = ["events", "heap_kev_s", "wheel_kev_s", "speedup"]
+    e2e = end_to_end()
+    e2e_metrics = [
+        "bare_events",
+        "hope_events",
+        "bare_kev_s",
+        "hope_heap_kev_s",
+        "hope_wheel_kev_s",
+        "overhead_ratio",
+        "pre_wheel_ratio",
+        "improvement",
+    ]
+    emit(
+        "events_per_sec",
+        format_table(
+            "EVSEC — kernel throughput (kilo-events/sec), heap vs wheel",
+            kernel_result.headers(kernel_metrics),
+            kernel_result.rows(kernel_metrics),
+        )
+        + "\n\n"
+        + format_table(
+            "EVSEC — end-to-end ping-pong, bare vs HOPE (heap/wheel)",
+            ["n_messages"] + e2e_metrics,
+            [[N_MESSAGES] + [e2e[k] for k in e2e_metrics]],
+        ),
+    )
+    emit_json(
+        "BENCH_3",
+        "events_per_sec",
+        {
+            "metric": "events/sec (wall includes scheduling), min of %d "
+            "interleaved reps" % REPEATS,
+            "n_events": N_EVENTS,
+            "kernel_shapes": [
+                dict(zip(["shape"] + kernel_metrics, row))
+                for row in kernel_result.rows(kernel_metrics)
+            ],
+            "end_to_end": dict(e2e, n_messages=N_MESSAGES),
+            "before": {
+                "overhead_ratio": PRE_WHEEL_RATIO,
+                "hope_events_per_pingpong": PRE_BATCHING_HOPE_EVENTS,
+            },
+        },
+    )
+    # determinism: both kernels processed identical event counts (asserted
+    # per-point inside run_point), and batched dispatch really did shrink
+    # HOPE's event budget — at most half of what per-message resume events
+    # used to cost (802 for n=200), and no more than the bare simulator's.
+    assert e2e["hope_events"] <= PRE_BATCHING_HOPE_EVENTS // 2 + 2
+    assert e2e["hope_events"] <= e2e["bare_events"]
+    # the wheel holds parity-or-better where bucketing matters (bulk
+    # fan-out, cancel churn) and gives up a bounded constant on the pure
+    # chain (heapq is C; the wheel's slot bookkeeping is Python — the
+    # end-to-end win comes from batched dispatch, not this microbench).
+    # Generous margins — the tight events/sec and overhead budgets are
+    # enforced best-of-attempts by smoke_overhead.py.
+    speedups = dict(zip(kernel_result.values, kernel_result.column("speedup")))
+    assert speedups["fanout"] >= 0.9, speedups
+    assert speedups["cancel"] >= 0.9, speedups
+    assert speedups["chain"] >= 0.55, speedups
+    assert e2e["overhead_ratio"] <= 1.75, e2e
+    benchmark(lambda: run_point("fanout", n=5_000, repeats=1))

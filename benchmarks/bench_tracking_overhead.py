@@ -57,8 +57,10 @@ def _bare_pingpong(n: int) -> dict:
     return {"makespan": makespan, "wall_s": wall, "events": sim.events_processed}
 
 
-def _hope_pingpong(n: int, speculative: bool, metrics=None) -> dict:
-    system = HopeSystem(latency=ConstantLatency(1.0), metrics=metrics)
+def _hope_pingpong(
+    n: int, speculative: bool, metrics=None, kernel: str = "wheel"
+) -> dict:
+    system = HopeSystem(latency=ConstantLatency(1.0), metrics=metrics, kernel=kernel)
 
     def side(p, me, peer, starts):
         if starts and speculative:
@@ -86,9 +88,15 @@ def _hope_pingpong(n: int, speculative: bool, metrics=None) -> dict:
 
 
 def run_point(n: int, repeats: int = REPEATS) -> dict:
-    bares = [_bare_pingpong(n) for _ in range(repeats)]
-    definites = [_hope_pingpong(n, speculative=False) for _ in range(repeats)]
-    specs = [_hope_pingpong(n, speculative=True) for _ in range(repeats)]
+    # Interleave the three modes per rep (rather than batching each mode)
+    # so a machine-speed swing hits all modes alike: the ratio of two
+    # interleaved minima cancels drift that the ratio of two batch minima
+    # (possibly seconds apart) does not.
+    bares, definites, specs = [], [], []
+    for _ in range(repeats):
+        bares.append(_bare_pingpong(n))
+        definites.append(_hope_pingpong(n, speculative=False))
+        specs.append(_hope_pingpong(n, speculative=True))
     bare, definite, spec = bares[0], definites[0], specs[0]
     bare_ms = 1000 * min(r["wall_s"] for r in bares)
     hope_ms = 1000 * min(r["wall_s"] for r in definites)
@@ -149,8 +157,11 @@ def test_tracking_overhead(benchmark):
     assert result.column("hope_makespan") == result.column("spec_makespan")
     # speculative runs really did tag traffic
     assert all(t > 0 for t in result.column("tags_spec"))
-    # regression tripwire: the interning/caching/trampoline work cut the
-    # n=200 overhead ratio from ~2.9x to ~1.8x; generous slack for noisy
-    # CI boxes, but a return to the seed-era ratio should fail loudly.
-    assert points[-1]["overhead_ratio"] <= 2.4, points[-1]
+    # regression tripwire: interning/caching/trampoline work cut the n=200
+    # overhead ratio from ~2.9x to ~1.8x, and the timer-wheel kernel +
+    # batched dispatch cut it further to ~1.3x.  This single-shot assert
+    # only guards against a return to pre-wheel ratios; the tight ≤1.4
+    # budget is enforced best-of-attempts by smoke_overhead.py (a single
+    # noisy run on a busy CI box must not flake the whole bench job).
+    assert points[-1]["overhead_ratio"] <= 1.75, points[-1]
     benchmark(lambda: _hope_pingpong(100, speculative=True))

@@ -1,12 +1,14 @@
 """CI smoke: fail if HOPE-vs-bare wall overhead regresses past the budget.
 
-Four checks: the CASCADE partial-replay property (deterministic — fast
+Five checks: the CASCADE partial-replay property (deterministic — fast
 rollback must replay fewer entries than full replay at depth 32), the
 FOSSIL memory budget (peak RSS growth of a fossil-collected 100k-event
 run must stay within ``max_fossil_rss_delta_kib``), the METRICS budget
 (traces byte-identical with metrics off/null/metered, and the metered
-ping-pong within ``max_metrics_overhead_ratio`` of the plain one), then
-the TRACK wall-clock budget.  The TRACK half runs the ping-pong point at
+ping-pong within ``max_metrics_overhead_ratio`` of the plain one), the
+EVSEC throughput floor (the wheel kernel's worst events/sec across the
+chain/fanout/cancel shapes must stay above ``min_events_per_sec``),
+then the TRACK wall-clock budget.  The TRACK half runs the ping-pong point at
 the message count stored in
 ``overhead_threshold.json`` and compares the measured
 ``hope_wall / bare_wall`` ratio against ``max_overhead_ratio``.  Wall
@@ -147,6 +149,45 @@ def _check_metrics(budget: dict) -> int:
     return 0
 
 
+def _check_throughput(budget: dict) -> int:
+    """EVSEC half: the wheel kernel must keep its events/sec floor.
+
+    Runs the three scheduling shapes from ``bench_events_per_sec`` and
+    judges the *worst* shape's wheel-kernel throughput against
+    ``min_events_per_sec``; best-of-attempts like the TRACK check.  The
+    floor is an order of magnitude below the measured numbers — it
+    catches a complexity regression (a wheel degenerating into linear
+    scans), not a slow CI box.
+    """
+    evsec = _load_bench("bench_events_per_sec")
+    n = budget.get("evsec_events", 20000)
+    floor = budget["min_events_per_sec"]
+    best = None
+    for attempt in range(budget.get("attempts", 3)):
+        points = {
+            shape: evsec.run_point(shape, n=n, repeats=budget.get("repeats", 5))
+            for shape in sorted(evsec.SHAPES)
+        }
+        worst_shape = min(points, key=lambda s: points[s]["wheel_kev_s"])
+        worst = 1000 * points[worst_shape]["wheel_kev_s"]
+        best = worst if best is None else max(best, worst)
+        detail = ", ".join(
+            f"{shape} {1000 * p['wheel_kev_s']:,.0f} ev/s ({p['speedup']:.2f}x heap)"
+            for shape, p in sorted(points.items())
+        )
+        print(
+            f"evsec attempt {attempt + 1}: {detail}; "
+            f"worst {worst:,.0f} ev/s (floor {floor:,})"
+        )
+        if best >= floor:
+            break
+    if best is None or best < floor:
+        print(f"FAIL: wheel kernel throughput {best:,.0f} ev/s below floor {floor:,}")
+        return 1
+    print(f"OK: wheel kernel worst-shape throughput {best:,.0f} ev/s above floor {floor:,}")
+    return 0
+
+
 def main() -> int:
     with open(os.path.join(HERE, "overhead_threshold.json"), encoding="utf-8") as fh:
         budget = json.load(fh)
@@ -155,6 +196,8 @@ def main() -> int:
     if _check_memory(budget):
         return 1
     if _check_metrics(budget):
+        return 1
+    if _check_throughput(budget):
         return 1
     bench = _load_bench("bench_tracking_overhead")
     n = budget["messages"]

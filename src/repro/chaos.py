@@ -167,12 +167,16 @@ def run_case(
     detector: Any = False,
     twin: Optional[dict[str, tuple]] = None,
     max_events: Optional[int] = None,
+    kernel: str = "wheel",
 ) -> CaseResult:
     """Run one chaos case with monitors attached; never raises.
 
     ``plan=None`` is the fault-free configuration (used for twins).
     ``twin`` is the fault-free committed state to compare against; pass
     None to skip the comparison (e.g. when producing the twin itself).
+    ``kernel`` selects the event-queue kernel ("wheel"/"heap"); traces
+    must be byte-identical either way, which the differential tests in
+    tests/sim/test_wheel_kernel.py and tests/chaos assert.
     """
     tracer = Tracer()
     system = HopeSystem(
@@ -184,6 +188,7 @@ def run_case(
         failure_detector=(
             DetectorConfig() if detector is True else detector
         ),
+        kernel=kernel,
     )
     attach_monitors(system)
     workload.build(system)

@@ -170,6 +170,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="dependency-tracking control plane",
     )
     run.add_argument(
+        "--kernel",
+        choices=["wheel", "heap"],
+        default="wheel",
+        help="event-queue kernel: hierarchical timer wheel (default) or the "
+        "binary-heap oracle — identical traces either way "
+        "(see docs/PERFORMANCE.md §6)",
+    )
+    run.add_argument(
         "--fast-rollback",
         action="store_true",
         help="restore rollbacks from shadow replicas (see docs/PERFORMANCE.md §3)",
@@ -290,6 +298,7 @@ def cmd_run(args, out) -> int:
         latency=ConstantLatency(args.latency),
         trace=tracer,
         aid_mode=args.aid_mode,
+        kernel=args.kernel,
         fast_rollback=args.fast_rollback,
         fossil_collect=args.fossil_collect,
         fossil_interval=args.fossil_interval,

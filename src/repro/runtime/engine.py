@@ -137,6 +137,13 @@ class ProcessRuntime:
         #: marks and recv registrations skip the per-event name lookups).
         self.track = None
         self.mailbox = None
+        #: Cached machine ProcessRecord (assigned at spawn — the machine
+        #: never replaces a record, so send/recv/emit skip the dict hop).
+        self.mproc = None
+        #: Reusable recv bridge for the current incarnation (one recv is
+        #: outstanding at a time, so one bridge serves them all; replaced
+        #: on rollback because its captured incarnation goes stale).
+        self.bridge: Optional["_RecvBridge"] = None
         #: The promoted rebase point — always at ``log.base`` (None means
         #: incarnations start from program entry; see commit_point).
         self.rebase: Optional[RebasePoint] = None
@@ -171,13 +178,25 @@ class _RecvBridge:
     guesses precede delivery "into the user-accessible state").
     """
 
-    __slots__ = ("engine", "proc", "effect", "incarnation", "_cleanups")
+    __slots__ = (
+        "engine", "proc", "effect", "incarnation", "sync", "on_kill", "_cleanups"
+    )
 
     def __init__(self, engine: "HopeSystem", proc: ProcessRuntime, effect: RecvEffect) -> None:
         self.engine = engine
         self.proc = proc
         self.effect = effect
         self.incarnation = proc.incarnation
+        #: Pre-bound cleanup callback: the bridge is registered as the
+        #: task's kill cleanup once per recv, and binding the method each
+        #: time was measurable on the recv hot path.
+        self.on_kill = self.cancel
+        #: True only while the recv handler's registration call is on the
+        #: stack — i.e. the task's dispatch trampoline is active, so a
+        #: synchronous delivery (message already queued) may complete the
+        #: effect via resume_now and drain the whole same-tick backlog in
+        #: one flat dispatch loop.
+        self.sync = False
         self._cleanups: list[Callable[[], None]] = []
 
     # Mailbox-facing protocol (duck-typed Task):
@@ -279,6 +298,10 @@ class HopeSystem:
         falsely suspected process is unsuspected on its next heartbeat
         and its later ``affirm`` of a detector-denied AID is reconciled
         to a no-op.
+    kernel:
+        Event-queue kernel for the simulator: ``"wheel"`` (default, the
+        hierarchical timer wheel) or ``"heap"`` (the binary-heap oracle).
+        Traces are byte-identical either way; see docs/PERFORMANCE.md §6.
     """
 
     def __init__(
@@ -299,6 +322,7 @@ class HopeSystem:
         faults: Optional[FaultPlan] = None,
         reliable: Any = False,
         failure_detector: Any = False,
+        kernel: str = "wheel",
     ) -> None:
         self.streams = RandomStreams(seed)
         if shuffle_ties:
@@ -307,10 +331,11 @@ class HopeSystem:
             # model checker sweeps seeds to explore those interleavings.
             tie_stream = self.streams["schedule-ties"]
             self.sim = Simulator(
-                tie_breaker=lambda: tie_stream.randint(0, 1 << 30)
+                tie_breaker=lambda: tie_stream.randint(0, 1 << 30),
+                kernel=kernel,
             )
         else:
-            self.sim = Simulator()
+            self.sim = Simulator(kernel=kernel)
         latency_model = latency if latency is not None else ConstantLatency(0.0)
         if faults is not None:
             # The faulty network draws every probabilistic fate from its
@@ -351,6 +376,11 @@ class HopeSystem:
         #: delivery boundary.
         self._fossil_pending = False
         self._finalizes_since_collect = 0
+        #: True while a rollback's message requeue is handing messages to
+        #: waiting receivers: the machine is mid-primitive there, so
+        #: deliveries fall back to scheduled resumes instead of stepping
+        #: user code inline (which could re-enter the machine).
+        self._defer_delivery = False
         self._aid_waiters: dict[str, list] = {}
         self.procs: dict[str, ProcessRuntime] = {}
         #: User-space AID handles by key.  Weak values: a handle that user
@@ -416,7 +446,7 @@ class HopeSystem:
         self.procs[name] = proc
         self.network.register(name)
         proc.mailbox = self.network.mailbox(name)
-        self.machine.create_process(name)
+        proc.mproc = self.machine.create_process(name)
         if self.detector is not None:
             self.detector.on_spawn(name)
         self._start_task(proc, delay=0.0)
@@ -828,7 +858,10 @@ class HopeSystem:
             # reclamation cannot observe a half-applied transition.
             self._run_fossil_collection()
         proc: ProcessRuntime = task.env.context
-        if not isinstance(effect, HopeEffect):
+        # Handler lookup doubles as the type check: only HOPE effects are
+        # registered, so a miss means a foreign (or subclassed) effect.
+        handler = self._LIVE_HANDLERS.get(type(effect))
+        if handler is None:
             raise HopeError(
                 f"HOPE process {proc.name!r} yielded non-HOPE effect {effect!r}; "
                 "use the HopeProcess facade (p.compute / p.recv / ...) so the "
@@ -847,12 +880,12 @@ class HopeSystem:
             effect = task.drive(result)
             if effect is None:
                 return  # the incarnation finished (or died) mid-replay
-            if not isinstance(effect, HopeEffect):
+            handler = self._LIVE_HANDLERS.get(type(effect))
+            if handler is None:
                 raise HopeError(
                     f"HOPE process {proc.name!r} yielded non-HOPE effect "
                     f"{effect!r} during replay"
                 )
-        handler = self._LIVE_HANDLERS[type(effect)]
         handler(self, proc, task, effect)
 
     # ---- live handlers -------------------------------------------------
@@ -948,7 +981,7 @@ class HopeSystem:
         task.resume_now(None)
 
     def _do_send(self, proc, task, effect: SendEffect) -> None:
-        current = self.machine.processes[proc.name].current
+        current = proc.mproc.current
         ido = current.ido if current is not None else self.machine.depsets.empty
         tags = ido.tag_keys           # interned: O(1) after the first send
         if self.reliable is not None:
@@ -970,10 +1003,26 @@ class HopeSystem:
         task.resume_now(msg_id)
 
     def _do_recv(self, proc, task, effect: RecvEffect) -> None:
-        bridge = _RecvBridge(self, proc, effect)
-        task.add_cleanup(bridge.cancel)
+        bridge = proc.bridge
+        if bridge is None or bridge.incarnation != proc.incarnation:
+            proc.bridge = bridge = _RecvBridge(self, proc, effect)
+        else:
+            # One recv is outstanding at a time, so the incarnation's
+            # bridge is reusable — only the effect (predicate/timeout)
+            # changes between recvs.
+            bridge.effect = effect
+        task.add_cleanup(bridge.on_kill)
         proc.track.mark(Span.BLOCKED, self.sim.now)
-        self._register_bridge(bridge)
+        # Inside the dispatch trampoline: a synchronous delivery (message
+        # already queued) completes the effect via resume_now, so a
+        # process draining a same-tick backlog re-enters the trampoline,
+        # DepSet propagation, and obs hooks once per (process, tick)
+        # instead of once per message.
+        bridge.sync = True
+        try:
+            proc.mailbox.register_receiver(bridge, effect.timeout, effect.predicate)
+        finally:
+            bridge.sync = False
 
     def _register_bridge(self, bridge: _RecvBridge) -> None:
         effect = bridge.effect
@@ -1005,7 +1054,7 @@ class HopeSystem:
         task.resume_now(value)
 
     def _do_emit(self, proc, task, effect: EmitEffect) -> None:
-        current = self.machine.process(proc.name).current
+        current = proc.mproc.current
         record = OutputRecord(effect.value, len(proc.log), current, self.sim.now)
         proc.outputs.append(record)
         proc.log.append("emit", None)
@@ -1041,7 +1090,7 @@ class HopeSystem:
         task.resume_now(None)
 
     def _do_spawn(self, proc, task, effect: SpawnEffect) -> None:
-        if self.machine.process(proc.name).current is not None:
+        if proc.mproc.current is not None:
             raise SpeculativeSpawnError(
                 f"{proc.name!r} tried to spawn {effect.name!r} while speculative"
             )
@@ -1097,35 +1146,36 @@ class HopeSystem:
             if self._tracing:
                 self.tracer.record(self.sim.now, "recv_timeout", proc.name)
             task.clear_cleanups()
-            task.resume(TIMED_OUT)
+            task.resume_inline(TIMED_OUT)
             return
         message: Message = value
         if message.dead:
             self._register_bridge(bridge)
             return
-        live, deps = self._resolve_message_tags(message)
-        if not live:
-            if self._tracing:
-                self.tracer.record(
-                    self.sim.now, "drop_dead_message", proc.name, msg=message.msg_id
-                )
-            self._register_bridge(bridge)
-            return
-        if deps:
-            checkpoint = Checkpoint(len(proc.log), self.sim.now)
-            interval = self.machine.guess_many(proc.name, deps, ps=checkpoint)
-            if interval is not None:
-                self._note_checkpoint(proc, checkpoint)
-                self.control.note_guess(proc.name, len(deps))
+        if message.tags:
+            live, deps = self._resolve_message_tags(message)
+            if not live:
                 if self._tracing:
                     self.tracer.record(
-                        self.sim.now,
-                        "implicit_guess",
-                        proc.name,
-                        aids=tuple(sorted(a.key for a in deps)),
+                        self.sim.now, "drop_dead_message", proc.name, msg=message.msg_id
                     )
+                self._register_bridge(bridge)
+                return
+            if deps:
+                checkpoint = Checkpoint(len(proc.log), self.sim.now)
+                interval = self.machine.guess_many(proc.name, deps, ps=checkpoint)
+                if interval is not None:
+                    self._note_checkpoint(proc, checkpoint)
+                    self.control.note_guess(proc.name, len(deps))
+                    if self._tracing:
+                        self.tracer.record(
+                            self.sim.now,
+                            "implicit_guess",
+                            proc.name,
+                            aids=tuple(sorted(a.key for a in deps)),
+                        )
         received = ReceivedMessage(message.payload, message.src, message.msg_id)
-        current = self.machine.processes[proc.name].current
+        current = proc.mproc.current
         if current is not None:
             current.meta.setdefault("received", []).append(message)
         proc.log.append("recv", received)
@@ -1134,7 +1184,18 @@ class HopeSystem:
                 self.sim.now, "recv", proc.name, src=message.src, msg=message.msg_id
             )
         task.clear_cleanups()
-        task.resume(received)
+        if bridge.sync:
+            # Registration found the message already queued: the dispatch
+            # trampoline is on the stack, so complete the recv flat.
+            task.resume_now(received)
+        elif self._defer_delivery:
+            # Mid-rollback requeue: the machine is not quiescent, so keep
+            # the pre-batching scheduled resume for this delivery.
+            task.resume(received)
+        else:
+            # Delivery/timer event context: step the generator directly
+            # instead of burning a resume event per message.
+            task.resume_inline(received)
 
     def _resolve_message_tags(self, message: Message):
         return self.machine.resolve_tag_keys(message.tags)
@@ -1239,7 +1300,12 @@ class HopeSystem:
         )
         if redeliver:
             redeliver.sort(key=lambda m: (m.deliver_time, m.msg_id))
-            self.network.mailbox(proc.name).requeue_front(redeliver)
+            prev = self._defer_delivery
+            self._defer_delivery = True
+            try:
+                self.network.mailbox(proc.name).requeue_front(redeliver)
+            finally:
+                self._defer_delivery = prev
         proc.restarts += 1
         delay = self.rollback_overhead + self.control.notify_delay()
         promoted = self._try_promote_shadow(proc, checkpoint.log_index, delay)

@@ -3,17 +3,18 @@
 HOPE payloads should be treated as immutable by user code — a rollback
 replays the logged :class:`ReceivedMessage` object, so mutating a payload
 would desynchronize the replayed incarnation from the original.  The
-provided types are frozen to make the right thing the easy thing.
+provided types are immutable tuples to make the right thing the easy
+thing (``NamedTuple`` rather than a frozen dataclass: one of these is
+allocated per delivered message, and tuple construction is several times
+cheaper than a frozen dataclass ``__init__`` + ``__setattr__`` guard).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any
+from typing import Any, NamedTuple
 
 
-@dataclass(frozen=True)
-class ReceivedMessage:
+class ReceivedMessage(NamedTuple):
     """What a HOPE recv resumes with: payload plus envelope metadata."""
 
     payload: Any
@@ -24,8 +25,7 @@ class ReceivedMessage:
         return f"ReceivedMessage({self.payload!r} from {self.src!r})"
 
 
-@dataclass(frozen=True)
-class RpcRequest:
+class RpcRequest(NamedTuple):
     """An RPC request envelope: ``call`` wraps payloads in one of these.
 
     Servers receive a :class:`ReceivedMessage` whose payload is an
@@ -40,8 +40,7 @@ class RpcRequest:
         return f"RpcRequest({self.body!r} reply_to={self.reply_to!r} corr={self.corr})"
 
 
-@dataclass(frozen=True)
-class RpcReply:
+class RpcReply(NamedTuple):
     """An RPC reply envelope, matched to its request by ``corr``."""
 
     body: Any

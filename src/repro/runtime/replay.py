@@ -27,7 +27,7 @@ docs/PERFORMANCE.md for the exact contract (bodies must be effect-pure).
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, NamedTuple
 
 from ..core.errors import HopeError
 
@@ -41,14 +41,16 @@ class ReplayDivergenceError(HopeError):
     """
 
 
-class LogEntry:
-    """One performed effect and its result."""
+class LogEntry(NamedTuple):
+    """One performed effect and its result.
 
-    __slots__ = ("kind", "result")
+    A ``NamedTuple`` rather than a slotted class: one entry is appended
+    per effect on the hot path, and tuple allocation is markedly cheaper
+    than instance creation + two attribute stores.
+    """
 
-    def __init__(self, kind: str, result: Any) -> None:
-        self.kind = kind
-        self.result = result
+    kind: str
+    result: Any
 
     def __repr__(self) -> str:
         return f"LogEntry({self.kind}, {self.result!r})"

@@ -206,7 +206,11 @@ class Mailbox:
                     break
 
     def _drop_dead(self) -> None:
-        self._queue = deque(m for m in self._queue if not m.dead)
+        # Scan first: the common case is an all-live (usually empty)
+        # queue, and rebuilding the deque on every register_receiver was
+        # measurable allocator churn on the recv hot path.
+        if any(m.dead for m in self._queue):
+            self._queue = deque(m for m in self._queue if not m.dead)
 
     def purge(self) -> int:
         """Discard all queued messages (crash semantics: a dead node's

@@ -1,7 +1,8 @@
 """Discrete-event simulation kernel.
 
-The kernel provides a virtual clock and an event heap.  Everything else in
-the simulator (processes, channels, failures) is built from two operations:
+The kernel provides a virtual clock and a pending-event queue.  Everything
+else in the simulator (processes, channels, failures) is built from two
+operations:
 
 * :meth:`Simulator.schedule` — run a callback at a later virtual time;
 * :meth:`Simulator.run` — pop events in time order until exhaustion.
@@ -11,15 +12,37 @@ latency argument (30 ms coast-to-coast photons vs. 3 million instructions)
 only depends on *ratios* of latency to compute, so units are deliberately
 abstract; benchmarks pick ratios, not microseconds.
 
-Determinism: events at the same timestamp fire in scheduling order (a
-monotonically increasing sequence number breaks ties), so a simulation with
-a fixed RNG seed is fully reproducible.  This is what makes the HOPE
-verification harness (``repro.verify``) able to replay schedules exactly.
+Two interchangeable event-queue kernels implement the same total order:
+
+* ``kernel="wheel"`` (default) — a hierarchical timer wheel: virtual time
+  is quantized into ticks, near-future ticks hash into per-level bucket
+  arrays (64 slots per level, each level 64× coarser), and far-future
+  events sit in an overflow list that is re-bucketed when reached.
+  Schedule and cancel are O(1); popping amortizes bucket maintenance over
+  the events in the bucket.  Cancellation never triggers the O(n)
+  heap-rebuild compaction that a cancel-heavy speculative workload forces
+  on a binary heap — dead events are simply skipped when their bucket is
+  reached (with a sweep fallback when they pile up; see
+  :meth:`_WheelQueue.on_cancel`).
+* ``kernel="heap"`` — the classic binary heap.  Kept as the differential
+  oracle: both kernels must produce byte-identical traces, and the wheel
+  tests assert exactly that.  It can also win on very sparse, wide-range
+  schedules where bucket cascades outcost ``heapq``'s C implementation
+  (see docs/PERFORMANCE.md §6).
+
+Determinism: events fire in ``(time, priority, seq)`` order — a
+monotonically increasing sequence number breaks ties at the same
+timestamp, so a simulation with a fixed RNG seed is fully reproducible.
+Bucket quantization never reorders: tick assignment is monotone in time
+and same-tick events are drained through a per-bucket heap using the same
+comparator, so the wheel's total order equals the heap's.  This is what
+makes the HOPE verification harness (``repro.verify``) able to replay
+schedules exactly.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heapify, heappop, heappush
 import itertools
 from typing import Any, Callable, Optional
 
@@ -37,11 +60,12 @@ class EventLimitExceeded(SimulationError):
 
 
 class ScheduledEvent:
-    """A pending callback in the event heap.
+    """A pending callback in the event queue.
 
-    Events are cancellable: :meth:`cancel` marks the event dead and the run
-    loop discards it when popped.  This is how timeouts that lost a race and
-    messages that were rolled back are retracted.
+    Events are cancellable: :meth:`cancel` marks the event dead and the
+    kernel discards it when its bucket (or heap head) is reached.  This is
+    how timeouts that lost a race and messages that were rolled back are
+    retracted.
 
     ``priority`` breaks ties between events at the same virtual time:
     0 by default (scheduling order — FIFO), or a seeded random draw when
@@ -70,7 +94,7 @@ class ScheduledEvent:
         self.label = label
         self.priority = priority
         #: Owning simulator, so cancellation can keep its live-event count
-        #: exact without a heap scan (None for standalone events).
+        #: exact without a queue scan (None for standalone events).
         self.sim = sim
 
     def cancel(self) -> None:
@@ -78,9 +102,10 @@ class ScheduledEvent:
         if self.cancelled:
             return
         self.cancelled = True
-        if self.sim is not None:
-            self.sim._live -= 1
-            self.sim._maybe_compact()
+        sim = self.sim
+        if sim is not None:
+            sim._live -= 1
+            sim._queue.on_cancel(sim._live)
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         return (self.time, self.priority, self.seq) < (
@@ -94,8 +119,375 @@ class ScheduledEvent:
         return f"<ScheduledEvent t={self.time:.6g} #{self.seq} {self.label or self.fn!r} {state}>"
 
 
+class _HeapQueue:
+    """Binary-heap event queue — the pre-wheel kernel, kept as the oracle.
+
+    Cancellation is lazy (dead events are discarded when they reach the
+    heap head) with an eviction rebuild when dead entries outnumber live
+    ones, so a cancel-heavy workload cannot degrade push/pop to
+    O(log total-ever-scheduled).
+    """
+
+    #: Heaps smaller than this are never compacted — rebuilding a tiny
+    #: heap costs more than lazily popping its cancelled entries.
+    COMPACT_MIN = 64
+
+    __slots__ = ("_heap", "compactions")
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self.compactions = 0
+
+    def push(self, event: ScheduledEvent) -> None:
+        heappush(self._heap, event)
+
+    def peek(self) -> Optional[ScheduledEvent]:
+        """Next live event (lazily popping cancelled heads), or None."""
+        heap = self._heap
+        while heap:
+            event = heap[0]
+            if not event.cancelled:
+                return event
+            heappop(heap)
+        return None
+
+    def pop_head(self) -> ScheduledEvent:
+        """Remove and return the head.  Only valid right after a
+        non-None :meth:`peek` (which guarantees a live head)."""
+        return heappop(self._heap)
+
+    def on_cancel(self, live: int) -> None:
+        """Evict cancelled events when they outnumber live ones.
+
+        ``peek``/``pop_head`` only discard cancelled events that reach the
+        heap *head*; a cancel-heavy workload (rollback retracting batches
+        of in-flight sends and timeouts) can leave the heap dominated by
+        dead entries buried mid-heap, making every push/pop O(log total)
+        instead of O(log live).  Rebuilding keeps (time, priority, seq)
+        ordering intact, so determinism is unaffected.
+        """
+        heap = self._heap
+        if len(heap) < self.COMPACT_MIN:
+            return
+        if (len(heap) - live) * 2 <= len(heap):
+            return
+        self._heap = [e for e in heap if not e.cancelled]
+        heapify(self._heap)
+        self.compactions += 1
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class _WheelQueue:
+    """Hierarchical timer wheel over quantized virtual time.
+
+    Time is quantized into integer ticks (``tick = int(time / resolution)``
+    — monotone in time, so quantization can never reorder events).  Four
+    levels of 64 buckets each cover ticks near the current one: level 0
+    holds individual ticks, and each higher level is 64× coarser, so the
+    wheel spans 64⁴ ≈ 16.7 M ticks before events spill into the overflow
+    list.  An event lands in the lowest level whose remaining bucket range
+    contains it (equivalently: the lowest level at which its tick shares
+    all higher-order bits with the current tick).
+
+    Occupancy per level is a 64-bit mask, so "next non-empty bucket" is a
+    couple of int ops (``(m & -m).bit_length()``), not a 64-slot scan —
+    advancing over quiet stretches of virtual time is O(levels), not
+    O(elapsed ticks).  When the cursor reaches a higher-level bucket, its
+    events cascade down one level (re-bucketed by the same placement
+    rule); when all levels drain, the overflow list is re-bucketed from
+    its earliest event's 64⁴-tick block.  Every event is cascaded at most
+    ``LEVELS`` times plus one overflow re-bucket per block crossed, so
+    schedule/cancel/pop are O(1) amortized.
+
+    The bucket being drained (``_active``) is a heap ordered by the same
+    ``(time, priority, seq)`` comparator as the heap kernel: same-tick
+    events (including same-tick events scheduled *while* draining, e.g.
+    zero-delay resumes) interleave exactly as they would in the global
+    heap, which is what keeps the two kernels' traces byte-identical.
+
+    Cancellation marks the event and leaves the bucket alone — the O(1)
+    "bucket unlink" the heap can't do.  Dead events are dropped when
+    their bucket is reached; if a cancel storm leaves the wheel dominated
+    by dead entries in far-future buckets, :meth:`on_cancel` sweeps all
+    buckets once (same trigger policy as the heap's compaction, same
+    ``compactions`` counter, no ordering effect).
+    """
+
+    BITS = 6
+    SLOTS = 64
+    MASK = 63
+    LEVELS = 4
+
+    #: Wheels smaller than this are never swept (mirrors the heap floor).
+    COMPACT_MIN = 64
+
+    __slots__ = (
+        "resolution",
+        "_inv",
+        "_cur",
+        "_active",
+        "_b0",
+        "_b1",
+        "_b2",
+        "_b3",
+        "_o0",
+        "_o1",
+        "_o2",
+        "_o3",
+        "_overflow",
+        "_size",
+        "compactions",
+    )
+
+    def __init__(self, resolution: float) -> None:
+        if resolution <= 0:
+            raise SimulationError(
+                f"wheel resolution must be > 0, got {resolution!r}"
+            )
+        self.resolution = resolution
+        self._inv = 1.0 / resolution
+        #: Tick of the bucket currently being drained.  All events in the
+        #: level buckets have tick > _cur; _active may also hold events
+        #: scheduled at or before _cur (they sort first in the heap).
+        self._cur = 0
+        #: Heap of imminent events (the bucket under drain).
+        self._active: list[ScheduledEvent] = []
+        self._b0: list[list[ScheduledEvent]] = [[] for _ in range(64)]
+        self._b1: list[list[ScheduledEvent]] = [[] for _ in range(64)]
+        self._b2: list[list[ScheduledEvent]] = [[] for _ in range(64)]
+        self._b3: list[list[ScheduledEvent]] = [[] for _ in range(64)]
+        self._o0 = 0
+        self._o1 = 0
+        self._o2 = 0
+        self._o3 = 0
+        self._overflow: list[ScheduledEvent] = []
+        #: Physical entry count, cancelled included (the sweep heuristic
+        #: and tests compare it against the simulator's live counter).
+        self._size = 0
+        self.compactions = 0
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def push(self, event: ScheduledEvent) -> None:
+        self._size += 1
+        tick = int(event.time * self._inv)
+        if tick <= self._cur:
+            heappush(self._active, event)
+        elif (
+            len(self._active) < 8
+            and not (self._o0 | self._o1 | self._o2 | self._o3)
+            and not self._overflow
+        ):
+            # Sparse fast path: the queue is nearly empty and nothing is
+            # placed relative to the cursor, so jump it to this tick and
+            # use the active heap directly.  Sound because _active is a
+            # real (time, priority, seq) heap — earlier-time events pushed
+            # afterwards land there too (their tick is now <= _cur) and
+            # sort first.  A near-empty queue (request/response chains)
+            # never pays bucket maintenance; the size gate keeps bulk
+            # fan-outs on the bucketed path.
+            self._cur = tick
+            heappush(self._active, event)
+        else:
+            self._insert(event, tick)
+
+    def _insert(self, event: ScheduledEvent, tick: int) -> None:
+        """Bucket an event with ``tick > _cur`` (no size accounting)."""
+        # The lowest level whose window contains the tick is the lowest
+        # level at which tick and _cur share all higher-order bits —
+        # i.e. the smallest l with (tick ^ _cur) < 64**(l+1).
+        x = tick ^ self._cur
+        if x < 64:
+            slot = tick & 63
+            self._b0[slot].append(event)
+            self._o0 |= 1 << slot
+        elif x < 4096:
+            slot = (tick >> 6) & 63
+            self._b1[slot].append(event)
+            self._o1 |= 1 << slot
+        elif x < 262144:
+            slot = (tick >> 12) & 63
+            self._b2[slot].append(event)
+            self._o2 |= 1 << slot
+        elif x < 16777216:
+            slot = (tick >> 18) & 63
+            self._b3[slot].append(event)
+            self._o3 |= 1 << slot
+        else:
+            self._overflow.append(event)
+
+    # ------------------------------------------------------------------
+    # extraction
+    # ------------------------------------------------------------------
+    def peek(self) -> Optional[ScheduledEvent]:
+        """Next live event in (time, priority, seq) order, or None.
+
+        Skips cancelled events (physically dropping them) and advances
+        the wheel cursor across empty buckets as needed; repeated peeks
+        are stable and never disturb execution order.
+        """
+        active = self._active
+        while True:
+            while active:
+                event = active[0]
+                if not event.cancelled:
+                    return event
+                heappop(active)
+                self._size -= 1
+            if not self._advance():
+                return None
+            active = self._active
+
+    def pop_head(self) -> ScheduledEvent:
+        """Remove and return the head.  Only valid right after a
+        non-None :meth:`peek` (which guarantees a live head)."""
+        self._size -= 1
+        return heappop(self._active)
+
+    def _advance(self) -> bool:
+        """Move the cursor to the next non-empty bucket.
+
+        Returns False when the wheel is completely empty.  Precondition:
+        ``_active`` is empty (peek drains it first).
+        """
+        while True:
+            if self._active:
+                # a cascade just landed events at the new cursor tick
+                return True
+            m = self._o0
+            if m:
+                s = (m & -m).bit_length() - 1
+                self._o0 = m & (m - 1)
+                bucket = self._b0[s]
+                self._b0[s] = []
+                self._cur = (self._cur & ~63) | s
+                if len(bucket) > 1:
+                    heapify(bucket)
+                self._active = bucket
+                return True
+            if not self._cascade():
+                return False
+
+    def _cascade(self) -> bool:
+        """Re-bucket the earliest higher-level bucket (or the overflow)
+        one level down.  Returns False when nothing remains anywhere."""
+        m = self._o1
+        if m:
+            s = (m & -m).bit_length() - 1
+            self._o1 = m & (m - 1)
+            bucket = self._b1[s]
+            self._b1[s] = []
+            self._cur = ((self._cur >> 12) << 12) | (s << 6)
+            self._replace(bucket)
+            return True
+        m = self._o2
+        if m:
+            s = (m & -m).bit_length() - 1
+            self._o2 = m & (m - 1)
+            bucket = self._b2[s]
+            self._b2[s] = []
+            self._cur = ((self._cur >> 18) << 18) | (s << 12)
+            self._replace(bucket)
+            return True
+        m = self._o3
+        if m:
+            s = (m & -m).bit_length() - 1
+            self._o3 = m & (m - 1)
+            bucket = self._b3[s]
+            self._b3[s] = []
+            self._cur = ((self._cur >> 24) << 24) | (s << 18)
+            self._replace(bucket)
+            return True
+        if self._overflow:
+            pending = self._overflow
+            self._overflow = []
+            live = [e for e in pending if not e.cancelled]
+            self._size -= len(pending) - len(live)
+            if live:
+                inv = self._inv
+                min_tick = min(int(e.time * inv) for e in live)
+                # Jump to the start of the earliest event's 64⁴-tick
+                # block; events beyond it re-enter the overflow.
+                self._cur = (min_tick >> 24) << 24
+                self._replace(live)
+            return True
+        return False
+
+    def _replace(self, events: list[ScheduledEvent]) -> None:
+        """Re-bucket cascaded events against the updated cursor."""
+        inv = self._inv
+        cur = self._cur
+        active = self._active
+        for event in events:
+            if event.cancelled:
+                self._size -= 1
+                continue
+            tick = int(event.time * inv)
+            if tick <= cur:
+                heappush(active, event)
+            else:
+                self._insert(event, tick)
+
+    # ------------------------------------------------------------------
+    # cancellation pressure
+    # ------------------------------------------------------------------
+    def on_cancel(self, live: int) -> None:
+        """Sweep dead events out of every bucket once they dominate.
+
+        Individual cancels are O(1) marks; this sweep only exists so a
+        workload that cancels far-future events en masse (and never
+        reaches their buckets) cannot hold unbounded dead memory.  Same
+        trigger policy as the heap kernel's compaction; rebucketing keeps
+        (time, priority, seq) ordering intact.
+        """
+        size = self._size
+        if size < self.COMPACT_MIN:
+            return
+        if (size - live) * 2 <= size:
+            return
+        active = [e for e in self._active if not e.cancelled]
+        heapify(active)
+        self._active = active
+        count = len(active)
+        for buckets, attr in (
+            (self._b0, "_o0"),
+            (self._b1, "_o1"),
+            (self._b2, "_o2"),
+            (self._b3, "_o3"),
+        ):
+            occ = 0
+            for slot in range(64):
+                bucket = buckets[slot]
+                if not bucket:
+                    continue
+                kept = [e for e in bucket if not e.cancelled]
+                buckets[slot] = kept
+                if kept:
+                    occ |= 1 << slot
+                    count += len(kept)
+            setattr(self, attr, occ)
+        self._overflow = [e for e in self._overflow if not e.cancelled]
+        count += len(self._overflow)
+        self._size = count
+        self.compactions += 1
+
+    def __len__(self) -> int:
+        return self._size
+
+
+#: Default tick width of the wheel kernel, in virtual-time units.  The
+#: benchmark and app workloads schedule mostly at latencies/computes of
+#: O(1) time unit; at 1/16 of a unit, level 0 alone spans 4 units, so the
+#: common case is a single bucket append with no cascading.  See
+#: docs/PERFORMANCE.md §6 for the sizing discussion.
+DEFAULT_WHEEL_RESOLUTION = 0.0625
+
+
 class Simulator:
-    """The event loop: a virtual clock plus a heap of scheduled callbacks.
+    """The event loop: a virtual clock plus a queue of scheduled callbacks.
 
     Usage::
 
@@ -103,28 +495,56 @@ class Simulator:
         sim.schedule(1.5, print, "hello at t=1.5")
         sim.run()
 
+    ``kernel`` selects the event-queue implementation: ``"wheel"`` (the
+    default hierarchical timer wheel) or ``"heap"`` (the classic binary
+    heap, kept as a differential oracle — both produce byte-identical
+    event orders).  ``wheel_resolution`` sets the wheel's tick width in
+    virtual-time units; it affects performance only, never ordering.
+
     Higher layers rarely call :meth:`schedule` directly; they use
     :class:`repro.sim.process.Task` coroutines and
     :class:`repro.sim.channel.Network` messaging, which are built on it.
     """
 
-    def __init__(self, tie_breaker: Optional[Callable[[], int]] = None) -> None:
+    def __init__(
+        self,
+        tie_breaker: Optional[Callable[[], int]] = None,
+        kernel: str = "wheel",
+        wheel_resolution: float = DEFAULT_WHEEL_RESOLUTION,
+    ) -> None:
         self._now: float = 0.0
-        self._heap: list[ScheduledEvent] = []
+        if kernel == "wheel":
+            self._queue: Any = _WheelQueue(wheel_resolution)
+        elif kernel == "heap":
+            self._queue = _HeapQueue()
+        else:
+            raise SimulationError(
+                f"unknown kernel {kernel!r} (choose 'heap' or 'wheel')"
+            )
+        self.kernel = kernel
         #: Count of not-yet-cancelled, not-yet-executed events.  Kept exact
         #: by schedule/cancel/pop so :attr:`pending_events` is O(1) instead
-        #: of a heap scan (benchmarks poll it per-iteration).
+        #: of a queue scan (benchmarks poll it per-iteration).
         self._live = 0
         self._seq = itertools.count()
         self._events_processed = 0
         self._running = False
         self._stopped = False
-        #: Times the heap was rebuilt to evict cancelled entries (see
-        #: :meth:`_maybe_compact`).
-        self.heap_compactions = 0
         #: optional per-event priority source; permutes same-time orderings
         #: (used by the schedule-exploring model checker)
         self._tie_breaker = tie_breaker
+
+    @property
+    def _heap(self) -> list[ScheduledEvent]:
+        """The raw heap list — heap kernel only (tests and debugging)."""
+        return self._queue._heap
+
+    @property
+    def heap_compactions(self) -> int:
+        """Times the queue was swept to evict cancelled entries (heap
+        rebuilds, or full wheel-bucket sweeps; the name predates the
+        wheel kernel and is kept for stats compatibility)."""
+        return self._queue.compactions
 
     # ------------------------------------------------------------------
     # clock
@@ -160,7 +580,7 @@ class Simulator:
         event = ScheduledEvent(
             self._now + delay, next(self._seq), fn, args, label, priority, sim=self
         )
-        heapq.heappush(self._heap, event)
+        self._queue.push(event)
         self._live += 1
         return event
 
@@ -182,7 +602,7 @@ class Simulator:
     # run loop
     # ------------------------------------------------------------------
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
-        """Run until the heap is empty, ``until`` is reached, or ``max_events``.
+        """Run until the queue is empty, ``until`` is reached, or ``max_events``.
 
         Returns the final virtual time.  ``until`` is inclusive: events at
         exactly ``until`` fire.  A ``max_events`` bound turns a livelocked
@@ -192,18 +612,16 @@ class Simulator:
         self._running = True
         self._stopped = False
         budget = max_events
+        queue = self._queue
         try:
-            while self._heap:
-                if self._stopped:
+            while not self._stopped:
+                event = queue.peek()
+                if event is None:
                     break
-                event = self._heap[0]
-                if event.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
                 if until is not None and event.time > until:
                     self._now = until
                     break
-                heapq.heappop(self._heap)
+                queue.pop_head()
                 self._live -= 1
                 event.sim = None  # detach: a late cancel() must not re-decrement
                 self._now = event.time
@@ -218,23 +636,23 @@ class Simulator:
                 event.fn(*event.args)
         finally:
             self._running = False
-        if until is not None and not self._heap and self._now < until:
+        if until is not None and self._now < until and queue.peek() is None:
             self._now = until
         return self._now
 
     def step(self) -> bool:
         """Execute exactly one pending event.  Returns False when idle."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._live -= 1
-            event.sim = None  # detach: a late cancel() must not re-decrement
-            self._now = event.time
-            self._events_processed += 1
-            event.fn(*event.args)
-            return True
-        return False
+        queue = self._queue
+        event = queue.peek()
+        if event is None:
+            return False
+        queue.pop_head()
+        self._live -= 1
+        event.sim = None  # detach: a late cancel() must not re-decrement
+        self._now = event.time
+        self._events_processed += 1
+        event.fn(*event.args)
+        return True
 
     def stop(self) -> None:
         """Request the run loop to return after the current event."""
@@ -242,40 +660,15 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events still in the heap.  O(1):
-        maintained by schedule/cancel/pop rather than scanning the heap."""
+        """Number of not-yet-cancelled events still queued.  O(1):
+        maintained by schedule/cancel/pop rather than scanning the queue."""
         return self._live
-
-    #: Heaps smaller than this are never compacted — rebuilding a tiny
-    #: heap costs more than lazily popping its cancelled entries.
-    _COMPACT_MIN = 64
-
-    def _maybe_compact(self) -> None:
-        """Evict cancelled events when they outnumber live ones.
-
-        ``peek_time``/``run`` only discard cancelled events that reach the
-        heap *head*; a cancel-heavy workload (rollback retracting batches
-        of in-flight sends and timeouts) can leave the heap dominated by
-        dead entries buried mid-heap, making every push/pop O(log total)
-        instead of O(log live).  Rebuilding keeps (time, priority, seq)
-        ordering intact, so determinism is unaffected.
-        """
-        heap = self._heap
-        if len(heap) < self._COMPACT_MIN:
-            return
-        if (len(heap) - self._live) * 2 <= len(heap):
-            return
-        self._heap = [e for e in heap if not e.cancelled]
-        heapq.heapify(self._heap)
-        self.heap_compactions += 1
 
     def peek_time(self) -> Optional[float]:
         """Virtual time of the next live event, or None if idle.
 
-        Lazily pops cancelled events off the heap head (amortized
-        O(log n) per cancellation) instead of sorting the whole heap.
-        """
-        heap = self._heap
-        while heap and heap[0].cancelled:
-            heapq.heappop(heap)
-        return heap[0].time if heap else None
+        Cancelled events are physically discarded as they are skipped, so
+        cancel-then-peek sequences keep the queue's physical size in step
+        with :attr:`pending_events` (no counter drift, whichever kernel)."""
+        event = self._queue.peek()
+        return event.time if event is not None else None

@@ -1,16 +1,27 @@
-"""Tests for the event-loop kernel."""
+"""Tests for the event-loop kernel.
+
+Generic behaviour is parametrized over both event-queue kernels (the
+binary heap and the hierarchical timer wheel) — they must be
+observationally identical.  Kernel-internal tests (heap compaction,
+wheel buckets) pin their kernel explicitly.
+"""
 
 import pytest
 
 from repro.sim import (
     EventLimitExceeded,
     ScheduleInPastError,
+    SimulationError,
     Simulator,
 )
 
 
-def test_events_fire_in_time_order():
-    sim = Simulator()
+@pytest.fixture(params=["heap", "wheel"])
+def sim(request):
+    return Simulator(kernel=request.param)
+
+
+def test_events_fire_in_time_order(sim):
     order = []
     sim.schedule(3.0, order.append, "c")
     sim.schedule(1.0, order.append, "a")
@@ -20,8 +31,7 @@ def test_events_fire_in_time_order():
     assert sim.now == 3.0
 
 
-def test_same_time_events_fire_in_schedule_order():
-    sim = Simulator()
+def test_same_time_events_fire_in_schedule_order(sim):
     order = []
     for tag in ["first", "second", "third"]:
         sim.schedule(1.0, order.append, tag)
@@ -29,14 +39,17 @@ def test_same_time_events_fire_in_schedule_order():
     assert order == ["first", "second", "third"]
 
 
-def test_negative_delay_rejected():
-    sim = Simulator()
+def test_negative_delay_rejected(sim):
     with pytest.raises(ScheduleInPastError):
         sim.schedule(-0.1, lambda: None)
 
 
-def test_cancelled_event_does_not_fire():
-    sim = Simulator()
+def test_unknown_kernel_rejected():
+    with pytest.raises(SimulationError):
+        Simulator(kernel="splay")
+
+
+def test_cancelled_event_does_not_fire(sim):
     fired = []
     event = sim.schedule(1.0, fired.append, "x")
     event.cancel()
@@ -44,8 +57,7 @@ def test_cancelled_event_does_not_fire():
     assert fired == []
 
 
-def test_run_until_stops_before_later_events():
-    sim = Simulator()
+def test_run_until_stops_before_later_events(sim):
     fired = []
     sim.schedule(1.0, fired.append, "a")
     sim.schedule(5.0, fired.append, "b")
@@ -56,16 +68,14 @@ def test_run_until_stops_before_later_events():
     assert fired == ["a", "b"]
 
 
-def test_until_is_inclusive():
-    sim = Simulator()
+def test_until_is_inclusive(sim):
     fired = []
     sim.schedule(2.0, fired.append, "edge")
     sim.run(until=2.0)
     assert fired == ["edge"]
 
 
-def test_events_scheduled_during_run_execute():
-    sim = Simulator()
+def test_events_scheduled_during_run_execute(sim):
     fired = []
 
     def chain(n):
@@ -79,9 +89,7 @@ def test_events_scheduled_during_run_execute():
     assert sim.now == 3.0
 
 
-def test_max_events_guards_livelock():
-    sim = Simulator()
-
+def test_max_events_guards_livelock(sim):
     def forever():
         sim.schedule(0.0, forever)
 
@@ -90,8 +98,7 @@ def test_max_events_guards_livelock():
         sim.run(max_events=100)
 
 
-def test_stop_breaks_run_loop():
-    sim = Simulator()
+def test_stop_breaks_run_loop(sim):
     fired = []
     sim.schedule(1.0, lambda: (fired.append("a"), sim.stop()))
     sim.schedule(2.0, fired.append, "b")
@@ -101,16 +108,14 @@ def test_stop_breaks_run_loop():
     assert fired == ["a", "b"]
 
 
-def test_schedule_at_absolute_time():
-    sim = Simulator()
+def test_schedule_at_absolute_time(sim):
     seen = []
     sim.schedule_at(4.5, lambda: seen.append(sim.now))
     sim.run()
     assert seen == [4.5]
 
 
-def test_pending_events_and_peek():
-    sim = Simulator()
+def test_pending_events_and_peek(sim):
     e1 = sim.schedule(1.0, lambda: None)
     sim.schedule(2.0, lambda: None)
     assert sim.pending_events == 2
@@ -120,8 +125,7 @@ def test_pending_events_and_peek():
     assert sim.peek_time() == 2.0
 
 
-def test_step_executes_one_event():
-    sim = Simulator()
+def test_step_executes_one_event(sim):
     fired = []
     sim.schedule(1.0, fired.append, "a")
     sim.schedule(2.0, fired.append, "b")
@@ -132,18 +136,16 @@ def test_step_executes_one_event():
     assert fired == ["a", "b"]
 
 
-def test_events_processed_counter():
-    sim = Simulator()
+def test_events_processed_counter(sim):
     for _ in range(5):
         sim.schedule(1.0, lambda: None)
     sim.run()
     assert sim.events_processed == 5
 
 
-def test_pending_events_counter_stays_exact():
+def test_pending_events_counter_stays_exact(sim):
     """pending_events is O(1) counter-maintained; it must agree with a
-    heap scan through every schedule/cancel/execute combination."""
-    sim = Simulator()
+    queue scan through every schedule/cancel/execute combination."""
     events = [sim.schedule(float(i), lambda: None) for i in range(10)]
     assert sim.pending_events == 10
     events[0].cancel()
@@ -157,8 +159,7 @@ def test_pending_events_counter_stays_exact():
     assert sim.pending_events == 0
 
 
-def test_pending_events_exact_after_step():
-    sim = Simulator()
+def test_pending_events_exact_after_step(sim):
     sim.schedule(1.0, lambda: None)
     e = sim.schedule(2.0, lambda: None)
     e.cancel()
@@ -170,8 +171,7 @@ def test_pending_events_exact_after_step():
     assert sim.pending_events == 0
 
 
-def test_peek_time_skips_cancelled_run_of_heads():
-    sim = Simulator()
+def test_peek_time_skips_cancelled_run_of_heads(sim):
     head = [sim.schedule(float(i), lambda: None) for i in range(5)]
     tail = sim.schedule(9.0, lambda: None)
     for e in head:
@@ -183,8 +183,7 @@ def test_peek_time_skips_cancelled_run_of_heads():
     assert sim.pending_events == 0
 
 
-def test_peek_time_does_not_disturb_execution_order():
-    sim = Simulator()
+def test_peek_time_does_not_disturb_execution_order(sim):
     fired = []
     sim.schedule(2.0, fired.append, "b")
     sim.schedule(1.0, fired.append, "a")
@@ -194,9 +193,8 @@ def test_peek_time_does_not_disturb_execution_order():
     assert fired == ["a", "b"]
 
 
-def test_cancel_after_pop_is_harmless():
+def test_cancel_after_pop_is_harmless(sim):
     """Cancelling an event that already fired must not skew the counter."""
-    sim = Simulator()
     e = sim.schedule(1.0, lambda: None)
     sim.schedule(2.0, lambda: None)
     sim.run(until=1.0)
@@ -204,13 +202,64 @@ def test_cancel_after_pop_is_harmless():
     assert sim.pending_events == 1
 
 
+def test_cancel_then_peek_keeps_counter_exact(sim):
+    """Interleaved cancel/peek sequences: peek physically discards the
+    cancelled events it skips, and the live counter never drifts."""
+    events = [sim.schedule(float(i), lambda: None) for i in range(8)]
+    assert sim.peek_time() == 0.0
+    events[0].cancel()
+    events[1].cancel()
+    assert sim.peek_time() == 2.0
+    assert sim.pending_events == 6
+    events[3].cancel()  # buried behind the live head, discarded later
+    assert sim.peek_time() == 2.0
+    assert sim.pending_events == 5
+    sim.run(until=4.0)  # fires t=2, 4 (t=3 cancelled)
+    assert sim.pending_events == 3
+    for e in events[5:]:
+        e.cancel()
+    assert sim.peek_time() is None
+    assert sim.pending_events == 0
+
+
+def test_schedule_after_until_break_preserves_order(sim):
+    """Events scheduled between runs (after an until-break advanced the
+    clock, which may have advanced the wheel cursor past `now`) still fire
+    before previously queued later events."""
+    fired = []
+    sim.schedule(10.0, fired.append, "late")
+    sim.run(until=2.0)
+    assert sim.now == 2.0
+    sim.schedule(0.5, fired.append, "early")
+    sim.call_soon(fired.append, "soon")
+    sim.run()
+    assert fired == ["soon", "early", "late"]
+
+
+def test_interleaved_timescales_fire_in_order(sim):
+    """Mixed near/far/fractional delays — exercises every wheel level and
+    the overflow list; both kernels must agree with a sorted oracle."""
+    fired = []
+    delays = [
+        0.03, 0.9, 1.0, 1.0625, 7.5, 63.9, 64.0, 100.0,
+        4095.9, 4096.0, 70000.0, 262144.0, 1.0e6, 2.5e6,
+    ]
+    for i, d in enumerate(delays):
+        sim.schedule(d, fired.append, i)
+    sim.run()
+    expected = sorted(range(len(delays)), key=lambda i: delays[i])
+    assert fired == expected
+    assert sim.now == max(delays)
+
+
 # ----------------------------------------------------------------------
-# heap compaction (cancel-heavy workloads)
+# queue compaction (cancel-heavy workloads) — behaviour common to both
+# kernels; physical-size assertions pin the heap kernel.
 # ----------------------------------------------------------------------
 def test_heap_compaction_evicts_cancelled_majority():
     """When cancelled events outnumber live ones, the heap is rebuilt so
     push/pop stay O(log live) instead of O(log total)."""
-    sim = Simulator()
+    sim = Simulator(kernel="heap")
     events = [sim.schedule(float(i), lambda: None) for i in range(200)]
     keep = events[::4]
     for e in events:
@@ -222,8 +271,7 @@ def test_heap_compaction_evicts_cancelled_majority():
     assert len(sim._heap) <= 2 * sim.pending_events + 1
 
 
-def test_heap_compaction_preserves_firing_order():
-    sim = Simulator()
+def test_heap_compaction_preserves_firing_order(sim):
     fired = []
     events = []
     for i in range(300):
@@ -239,10 +287,9 @@ def test_heap_compaction_preserves_firing_order():
     assert fired == expected
 
 
-def test_small_heaps_are_never_compacted():
-    """Rebuilding a tiny heap costs more than lazy pops; below the size
-    floor cancellation must leave the heap alone."""
-    sim = Simulator()
+def test_small_heaps_are_never_compacted(sim):
+    """Rebuilding a tiny queue costs more than lazy drops; below the size
+    floor cancellation must leave the queue alone."""
     events = [sim.schedule(float(i), lambda: None) for i in range(20)]
     for e in events:
         e.cancel()
@@ -252,7 +299,7 @@ def test_small_heaps_are_never_compacted():
 def test_compaction_counter_in_steady_cancel_churn():
     """Repeated schedule/cancel churn stays bounded: the heap never grows
     past ~2x the live population."""
-    sim = Simulator()
+    sim = Simulator(kernel="heap")
     live = []
     for round_ in range(50):
         for _ in range(10):
@@ -261,3 +308,88 @@ def test_compaction_counter_in_steady_cancel_churn():
             live.pop(0).cancel()
     assert len(sim._heap) <= max(2 * sim.pending_events, 64)
     assert sim.heap_compactions >= 1
+
+
+# ----------------------------------------------------------------------
+# timer-wheel internals
+# ----------------------------------------------------------------------
+def test_wheel_cancel_all_in_bucket():
+    """Cancelling every event in a far bucket: the bucket is skipped
+    without firing anything and the counters stay exact."""
+    sim = Simulator(kernel="wheel")
+    fired = []
+    # one near event, a cluster sharing a single far bucket, one farther
+    sim.schedule(1.0, fired.append, "near")
+    cluster = [sim.schedule(500.0, fired.append, f"mid{i}") for i in range(8)]
+    sim.schedule(900.0, fired.append, "far")
+    for e in cluster:
+        e.cancel()
+    assert sim.pending_events == 2
+    sim.run()
+    assert fired == ["near", "far"]
+    assert sim.pending_events == 0
+    assert sim.peek_time() is None
+
+
+def test_wheel_cancel_storm_triggers_sweep():
+    """Mass-cancelling far-future events triggers the wheel sweep so dead
+    entries don't accumulate (the analogue of heap compaction)."""
+    sim = Simulator(kernel="wheel")
+    events = [sim.schedule(float(i) * 3.7, lambda: None) for i in range(400)]
+    for e in events[::2]:
+        e.cancel()
+    for e in events[1::2]:
+        e.cancel()
+    assert sim.heap_compactions >= 1
+    # same bound as the heap kernel: dead entries never dominate above
+    # the sweep floor
+    assert len(sim._queue) <= max(2 * sim.pending_events, 64)
+    assert sim.pending_events == 0
+
+
+def test_wheel_sweep_preserves_order_and_counters():
+    sim = Simulator(kernel="wheel")
+    fired = []
+    events = [sim.schedule(float(i % 97) * 1.3, fired.append, i) for i in range(500)]
+    for i, e in enumerate(events):
+        if i % 4 != 1:
+            e.cancel()
+    assert sim.heap_compactions >= 1
+    assert sim.pending_events == sum(1 for i in range(500) if i % 4 == 1)
+    expected = sorted(
+        (i for i in range(500) if i % 4 == 1),
+        key=lambda i: (float(i % 97) * 1.3, i),
+    )
+    sim.run()
+    assert fired == expected
+
+
+def test_wheel_overflow_rebase():
+    """Events beyond the wheel horizon live in the overflow list and are
+    re-bucketed (in order) once the near levels drain."""
+    sim = Simulator(kernel="wheel")
+    fired = []
+    horizon = 0.0625 * (64 ** 4)  # resolution * 64^4 ticks
+    sim.schedule(1.0, fired.append, "now")
+    sim.schedule(horizon * 2.0, fired.append, "beyond2")
+    sim.schedule(horizon * 1.5, fired.append, "beyond1")
+    cancelled = sim.schedule(horizon * 1.75, fired.append, "dead")
+    cancelled.cancel()
+    sim.run()
+    assert fired == ["now", "beyond1", "beyond2"]
+    assert sim.pending_events == 0
+
+
+def test_wheel_resolution_only_affects_performance():
+    """Any positive resolution yields the same firing order."""
+    orders = []
+    for resolution in (0.0625, 1.0, 17.3, 1e-4):
+        sim = Simulator(kernel="wheel", wheel_resolution=resolution)
+        fired = []
+        for i, d in enumerate([5.0, 0.1, 0.1, 3.3, 64.2, 0.0]):
+            sim.schedule(d, fired.append, i)
+        sim.run()
+        orders.append(fired)
+    assert all(o == orders[0] for o in orders)
+    with pytest.raises(SimulationError):
+        Simulator(kernel="wheel", wheel_resolution=0.0)
