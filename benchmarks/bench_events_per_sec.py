@@ -35,6 +35,9 @@ from repro.bench import emit, emit_json, format_table, sweep
 N_EVENTS = 20_000
 N_MESSAGES = 200
 REPEATS = 5
+#: Re-measure a shape whose speedup floor failed up to this many times and
+#: judge the best attempt (machine-noise tolerance; see test body).
+BAR_ATTEMPTS = 3
 
 #: Pre-wheel baselines, measured at the parent commit (binary-heap
 #: kernel, per-message resume events): the TRACK n=200 overhead ratio,
@@ -191,14 +194,22 @@ def test_events_per_sec(benchmark):
     assert e2e["hope_events"] <= PRE_BATCHING_HOPE_EVENTS // 2 + 2
     assert e2e["hope_events"] <= e2e["bare_events"]
     # the wheel holds parity-or-better where bucketing matters (bulk
-    # fan-out, cancel churn) and gives up a bounded constant on the pure
-    # chain (heapq is C; the wheel's slot bookkeeping is Python — the
-    # end-to-end win comes from batched dispatch, not this microbench).
-    # Generous margins — the tight events/sec and overhead budgets are
-    # enforced best-of-attempts by smoke_overhead.py.
+    # fan-out, cancel churn), and the sparse-mode fast path keeps the pure
+    # chain at heap parity: below _WheelQueue.SPARSE_MAX pending events the
+    # wheel *is* a plain heap (class-swapped sparse mode — no tick math,
+    # no masks, no size counter), so a sequential chain pays only one
+    # len() compare per push over the heap kernel.  Judged best of
+    # BAR_ATTEMPTS — run-to-run machine noise exceeds the margin under
+    # test, so a single unlucky interleaving must not fail the floor
+    # (same policy as smoke_overhead.py's budget checks).
+    bars = {"fanout": 0.9, "cancel": 0.9, "chain": 0.95}
     speedups = dict(zip(kernel_result.values, kernel_result.column("speedup")))
-    assert speedups["fanout"] >= 0.9, speedups
-    assert speedups["cancel"] >= 0.9, speedups
-    assert speedups["chain"] >= 0.55, speedups
+    for shape, floor in bars.items():
+        best = speedups[shape]
+        for _ in range(BAR_ATTEMPTS - 1):
+            if best >= floor:
+                break
+            best = max(best, run_point(shape)["speedup"])
+        assert best >= floor, (shape, best, speedups)
     assert e2e["overhead_ratio"] <= 1.75, e2e
     benchmark(lambda: run_point("fanout", n=5_000, repeats=1))

@@ -49,6 +49,7 @@ from .aid import AidStatus, AssumptionId
 from .depset import DepSet, DepSetInterner
 from .errors import (
     FinalizePreconditionError,
+    HopeError,
     IntervalStateError,
     MachineInvariantError,
     ResolutionConflictError,
@@ -160,6 +161,37 @@ class Machine:
         aid = self.aids.get(key)
         if aid is None:
             raise UnknownAidError(f"unknown assumption identifier {key!r}")
+        return aid
+
+    def offset_serials(self, base: int) -> None:
+        """Start the AID/interval serial counters at ``base``.
+
+        Sharded deployments (the parallel backend) give each shard's
+        machine a disjoint serial range so AID keys like ``"h4#2"`` are
+        globally unique — two shards must never mint the same key for
+        different assumptions.  Call before the first ``aid_init``.
+        """
+        if self._aid_serials or self._interval_serials:
+            raise HopeError("offset_serials must be called before any aid_init/guess")
+        self._aid_serials = base
+        self._interval_serials = base
+
+    def adopt_aid(self, key: str) -> AssumptionId:
+        """Fetch ``key``, creating a *mirror* of a remote AID if unknown.
+
+        A mirror starts pending and is resolved by relayed definite
+        affirms/denies from the shard that owns it; its serial is parsed
+        back out of the key so ``repr`` and ordering match the owner's.
+        Local keys return the existing object — adopting is idempotent
+        and never shadows a locally minted AID.
+        """
+        aid = self.aids.get(key)
+        if aid is None:
+            name, sep, serial = key.rpartition("#")
+            if not sep or not serial.isdigit():
+                raise UnknownAidError(f"malformed assumption identifier {key!r}")
+            aid = AssumptionId(name, serial=int(serial))
+            self.aids[key] = aid
         return aid
 
     def subscribe(self, listener: Callable[[MachineEvent], None]) -> None:

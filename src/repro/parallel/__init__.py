@@ -1,0 +1,30 @@
+"""Real-parallel execution backend (the "PVM redux" of the paper's §8
+outlook): HOPE processes sharded over OS workers, coordinated with a
+conservative lookahead window, speculation crossing shard boundaries as
+wire-format frames.
+
+Entry point: ``HopeSystem(backend="parallel", workers=N,
+latency=ConstantLatency(L))`` — see :class:`ParallelBackend`.
+"""
+
+from .backend import ParallelBackend
+from .shard import RemoteBridge, ShardTransport, WireStats
+from .wire import (
+    AckFrame,
+    MsgFrame,
+    ResolveFrame,
+    RetractFrame,
+    ShardSpec,
+)
+
+__all__ = [
+    "AckFrame",
+    "MsgFrame",
+    "ParallelBackend",
+    "RemoteBridge",
+    "ResolveFrame",
+    "RetractFrame",
+    "ShardSpec",
+    "ShardTransport",
+    "WireStats",
+]

@@ -1,0 +1,317 @@
+"""Worker-side shard plumbing: the transport and the remote bridge.
+
+A shard is an ordinary :class:`~repro.runtime.engine.HopeSystem` (sim
+backend) hosting a subset of the processes, with two extra pieces:
+
+* :class:`ShardTransport` — a :class:`~repro.sim.channel.Network`
+  subclass.  Sends between co-located processes take the normal
+  simulator path, byte-for-byte; sends whose destination lives on
+  another worker become :class:`~.wire.MsgFrame` records queued for the
+  coordinator.  The returned :class:`RemoteDelivery` duck-types
+  :class:`~repro.sim.channel.Delivery`, so the engine's rollback
+  machinery retracts cross-shard messages with the same call it uses
+  locally.
+
+* :class:`RemoteBridge` — the object the engine sees as ``self.remote``.
+  It adopts mirror AIDs for keys minted on other shards, relays definite
+  affirm/deny resolutions outward (and applies inbound ones through the
+  ``__remote__`` machine pseudo-process), reports fresh ``aid_init``
+  ownership to the coordinator for crash handling, and dedups/acks
+  inbound message frames.
+
+Safety note: cross-shard retraction is *not* load-bearing.  A message
+sent from a speculative interval carries the interval's AID tag keys; if
+the assumption is denied before delivery, the receiving shard's
+``resolve_tag_keys`` sees the denied (mirror) AID and drops the message
+(``drop_dead_message``), exactly as in the single-simulator runtime.
+:class:`~.wire.RetractFrame` merely saves the wire hop when the rollback
+wins the race.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..core.events import AffirmEvent, DenyEvent
+from ..sim.channel import Delivery, Message, Network, UnknownEndpointError
+from .wire import (
+    AFFIRM,
+    DENY,
+    DETECTOR_DENY,
+    AckFrame,
+    MsgFrame,
+    ResolveFrame,
+    RetractFrame,
+    fid_origin,
+    make_fid,
+)
+
+#: Machine pseudo-process that applies relayed remote resolutions.  Like
+#: the failure detector's ``__detector__``, it never speculates, so its
+#: affirms/denies are definite (Eq 7-9 / Eq 15).
+REMOTE_PID = "__remote__"
+DETECTOR_PID = "__detector__"
+
+
+class WireStats:
+    """Cross-shard traffic counters (per worker; summed by the backend)."""
+
+    __slots__ = (
+        "frames_out", "frames_in", "acks_in", "acks_out", "dup_suppressed",
+        "retracts_out", "retracts_in", "retracts_unsent", "resolves_out",
+        "resolves_in", "resolve_noops",
+    )
+
+    def __init__(self) -> None:
+        for field in self.__slots__:
+            setattr(self, field, 0)
+
+    def as_dict(self) -> dict:
+        return {field: getattr(self, field) for field in self.__slots__}
+
+
+class RemoteDelivery:
+    """Retractable handle on a message that left the shard.
+
+    Duck-types the :class:`~repro.sim.channel.Delivery` surface the
+    engine touches (``message``, ``retract``, ``delivered``); there is no
+    local delivery event to cancel, so retraction either unsends the
+    queued frame or emits a :class:`RetractFrame`.
+    """
+
+    __slots__ = ("message", "_transport")
+
+    def __init__(self, message: Message, transport: "ShardTransport") -> None:
+        self.message = message
+        self._transport = transport
+
+    def retract(self) -> None:
+        if not self.message.dead:
+            self._transport.retract_remote(self.message)
+
+    @property
+    def delivered(self) -> bool:
+        return False  # delivery happens on the destination shard
+
+    def __repr__(self) -> str:
+        return f"RemoteDelivery({self.message!r})"
+
+
+class ShardTransport(Network):
+    """Routes intra-shard messages locally, inter-shard ones as frames."""
+
+    def __init__(self, sim, latency, *, placement: dict, index: int,
+                 lookahead: float) -> None:
+        super().__init__(sim, latency)
+        self.placement = placement
+        self.index = index
+        self.lookahead = lookahead
+        self.wire = WireStats()
+        #: Frames queued since the last drain (shipped once per window).
+        self.outbound: list = []
+        self._seq = 0
+        self._fid_seq = 0
+        #: Inbound fid -> local Delivery, for applying RetractFrames.
+        self._in_deliveries: dict[int, Delivery] = {}
+        #: Inbound fids already injected (wire-level dedup; the pipes
+        #: themselves never duplicate, so this is format armour).
+        self._seen_fids: set = set()
+        #: Outbound fids awaiting an AckFrame.
+        self._await_ack: set = set()
+
+    # -- outbound ------------------------------------------------------
+    def next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def send(self, src: str, dst: str, payload: Any,
+             tags: Optional[frozenset] = None,
+             latency_override: Optional[float] = None,
+             msg_id: Optional[int] = None) -> Delivery:
+        owner = self.placement.get(dst)
+        if owner is None:
+            raise UnknownEndpointError(
+                f"no endpoint named {dst!r} in the shard placement — the "
+                "parallel backend requires all processes spawned before run()"
+            )
+        if owner == self.index:
+            return super().send(src, dst, payload, tags=tags,
+                                latency_override=latency_override,
+                                msg_id=msg_id)
+        self._fid_seq += 1
+        fid = make_fid(self.index, self._fid_seq)
+        now = self.sim.now
+        message = Message(src, dst, payload, tags, send_time=now, msg_id=fid)
+        delay = (latency_override if latency_override is not None
+                 else self.latency.sample(src, dst))
+        self.outbound.append(MsgFrame(
+            fid, src, dst, payload, tuple(sorted(message.tags)),
+            now, now + delay,
+        ))
+        self._await_ack.add(fid)
+        self.messages_sent += 1
+        self.tag_count_total += len(message.tags)
+        self.wire.frames_out += 1
+        return RemoteDelivery(message, self)
+
+    def retract_remote(self, message: Message) -> None:
+        message.dead = True
+        fid = message.msg_id
+        for i, frame in enumerate(self.outbound):
+            if type(frame) is MsgFrame and frame.fid == fid:
+                # Never shipped: unsend silently — the rollback beat the
+                # window boundary, so the wire never sees the message.
+                del self.outbound[i]
+                self._await_ack.discard(fid)
+                self.wire.frames_out -= 1
+                self.wire.retracts_unsent += 1
+                return
+        self.outbound.append(RetractFrame(fid, message.dst, self.next_seq()))
+        self.wire.retracts_out += 1
+
+    def drain_outbound(self) -> list:
+        frames, self.outbound = self.outbound, []
+        return frames
+
+    # -- inbound (called by RemoteBridge, in coordinator-sorted order) --
+    def inject_message(self, frame: MsgFrame) -> None:
+        if frame.fid in self._seen_fids:
+            self.wire.dup_suppressed += 1
+            return
+        self._seen_fids.add(frame.fid)
+        message = Message(frame.src, frame.dst, frame.payload,
+                          frozenset(frame.tags), send_time=frame.send_time,
+                          msg_id=frame.fid)
+        box = self.mailbox(frame.dst)
+        # The window protocol guarantees deliver_time >= now: a frame
+        # sent at t inside window [T, T+L) lands at t+L >= T+L, and no
+        # worker has run past T+L when the frame is injected.
+        event = self._schedule_delivery(box, message,
+                                        frame.deliver_time - self.sim.now)
+        self._in_deliveries[frame.fid] = Delivery(message, event)
+        self.outbound.append(AckFrame(frame.fid))
+        self.wire.frames_in += 1
+        self.wire.acks_out += 1
+
+    def inject_retract(self, frame: RetractFrame) -> None:
+        delivery = self._in_deliveries.pop(frame.fid, None)
+        if delivery is not None:
+            delivery.retract()
+        else:
+            # Retract outran the message (cannot happen with the sorted
+            # grant order, but the wire format tolerates it): remember
+            # the fid so the late message is dropped as a duplicate.
+            self._seen_fids.add(frame.fid)
+        self.wire.retracts_in += 1
+
+    def inject_ack(self, frame: AckFrame) -> None:
+        self._await_ack.discard(frame.fid)
+        self.wire.acks_in += 1
+
+    @property
+    def unacked(self) -> int:
+        return len(self._await_ack)
+
+    # -- engine-facing polymorphic hooks -------------------------------
+    def stats_entries(self) -> dict:
+        return {"wire": self.wire.as_dict()}
+
+
+class RemoteBridge:
+    """The shard's view of everything beyond its own simulator."""
+
+    def __init__(self, system, transport: ShardTransport, index: int,
+                 lookahead: float) -> None:
+        self.system = system
+        self.machine = system.machine
+        self.transport = transport
+        self.index = index
+        self.lookahead = lookahead
+        #: (key, owner_process) pairs minted since the last report.
+        self.new_aids: list = []
+        #: Keys whose definite resolution was already relayed (or arrived
+        #: from outside) — each crosses the wire at most once per shard.
+        self._relayed: set = set()
+        self.machine.create_process(REMOTE_PID)
+        self.machine.create_process(DETECTOR_PID)
+        self.machine.subscribe(self._on_machine_event)
+
+    # -- engine hooks (HopeSystem.remote) ------------------------------
+    def note_aid_init(self, key: str, owner: str) -> None:
+        self.new_aids.append((key, owner))
+
+    def lookup_aid(self, key: str):
+        """Resolve an AID key, adopting a mirror for remote-minted keys."""
+        return self.machine.adopt_aid(key)
+
+    def drain_new_aids(self) -> list:
+        aids, self.new_aids = self.new_aids, []
+        return aids
+
+    # -- outbound resolutions ------------------------------------------
+    def _on_machine_event(self, event) -> None:
+        if type(event) is AffirmEvent and event.definite:
+            kind = AFFIRM
+        elif type(event) is DenyEvent and event.definite:
+            kind = DENY
+        else:
+            return
+        key = event.aid.key
+        if key in self._relayed:
+            return
+        self._relayed.add(key)
+        self.transport.outbound.append(ResolveFrame(
+            kind, key, self.index, self.system.sim.now,
+            self.transport.next_seq(),
+        ))
+        self.transport.wire.resolves_out += 1
+
+    # -- inbound frames (coordinator-sorted grant order) ---------------
+    def inject(self, frame) -> None:
+        kind = type(frame)
+        if kind is MsgFrame:
+            for key in frame.tags:
+                self.machine.adopt_aid(key)
+            self.transport.inject_message(frame)
+        elif kind is ResolveFrame:
+            self._inject_resolve(frame)
+        elif kind is RetractFrame:
+            self.transport.inject_retract(frame)
+        elif kind is AckFrame:
+            self.transport.inject_ack(frame)
+        else:  # pragma: no cover - coordinator only routes known frames
+            raise TypeError(f"unknown frame {frame!r}")
+
+    def _inject_resolve(self, frame: ResolveFrame) -> None:
+        self.transport.wire.resolves_in += 1
+        if frame.kind == DETECTOR_DENY:
+            # Coordinator-issued: apply at the window boundary it names
+            # (every surviving worker has run strictly past-less of it).
+            apply_time = frame.time
+        else:
+            # Peer-relayed: the resolution "message" travels one network
+            # latency, same as any other cross-shard information.
+            apply_time = frame.time + self.lookahead
+        # A resolution that already reached this shard (e.g. the mirror
+        # was adopted and resolved by a second relay path) applies as a
+        # no-op inside _apply_resolution, not here: the pending check
+        # must happen at apply time, not inject time.
+        self.system.sim.schedule_at(apply_time, self._apply_resolution,
+                                    frame, label=f"remote-{frame.kind}")
+
+    def _apply_resolution(self, frame: ResolveFrame) -> None:
+        aid = self.machine.adopt_aid(frame.key)
+        if not aid.pending:
+            self.transport.wire.resolve_noops += 1
+            return
+        # Mark relayed *before* applying: the resulting definite event is
+        # the relay's own arrival, not news this shard must re-broadcast.
+        # (Resolutions *cascaded* from it — locally parked denies, spec
+        # affirms finalized by the shed — have their own keys and relay
+        # normally.)
+        self._relayed.add(frame.key)
+        pid = DETECTOR_PID if frame.kind == DETECTOR_DENY else REMOTE_PID
+        if frame.kind == AFFIRM:
+            self.machine.affirm(pid, aid, via="remote")
+        else:
+            self.machine.deny(pid, aid, via="remote")

@@ -1,0 +1,75 @@
+"""Execution backends: the strategy layer behind :class:`HopeSystem`.
+
+A backend owns *where HOPE processes execute*.  The engine builds the
+shared substrates (machine, network/transport, effect log) and delegates
+``spawn``/``run`` to its backend:
+
+* :class:`SimBackend` — the deterministic single-process simulator.  The
+  default, and the differential oracle for every other backend: all
+  spawn/run behaviour is exactly the pre-extraction engine code path, so
+  traces stay byte-identical.
+* :class:`repro.parallel.ParallelBackend` — real OS workers
+  (``multiprocessing``), each hosting a shard of the processes on its own
+  simulator + machine, exchanging wire-format frames between shards.
+  Committed state matches the sim twin; interleavings do not (see
+  docs/LIMITATIONS.md).
+
+The complementary seam is the *transport*: :class:`repro.sim.channel.
+Network` (and its subclasses ``FaultyNetwork``, ``ShardTransport``) owns
+how messages move.  Backends pick a transport; the engine type-checks
+neither (see ``Network.stats_entries`` / ``observe_gauges``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+
+class Backend:
+    """Interface a :class:`repro.runtime.engine.HopeSystem` delegates to.
+
+    Subclasses override the four hooks; the default implementations say
+    "nothing backend-specific" so the engine falls through to its own
+    (sim-shaped) accessors.
+    """
+
+    #: Short name surfaced in ``stats()["backend"]`` and the CLI.
+    name = "?"
+
+    def spawn(self, name: str, fn: Callable[..., Generator], *args: Any):
+        raise NotImplementedError
+
+    def run(self, until: Optional[float], max_events: Optional[int]) -> float:
+        raise NotImplementedError
+
+    def stats(self) -> Optional[dict]:
+        """Full stats override, or None to use the engine's local view."""
+        return None
+
+    def aid_status(self, key: str):
+        """Backend-held AID status, or None to consult the local machine."""
+        return None
+
+    def owns_metrics(self) -> bool:
+        """True if the backend merged already-snapshotted shard registries
+        — the engine must then skip its local gauge refresh, which would
+        overwrite the merged values with this process's (empty) view."""
+        return False
+
+
+class SimBackend(Backend):
+    """The deterministic simulator — processes run inside the engine's own
+    :class:`repro.sim.Simulator`.  Pure delegation to the engine's local
+    spawn/run paths (the pre-backend code, verbatim), so extracting the
+    seam changed no trace."""
+
+    name = "sim"
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+
+    def spawn(self, name: str, fn: Callable[..., Generator], *args: Any):
+        return self.engine._spawn_sim(name, fn, *args)
+
+    def run(self, until: Optional[float], max_events: Optional[int]) -> float:
+        return self.engine._run_sim(until, max_events)

@@ -302,6 +302,26 @@ class HopeSystem:
         Event-queue kernel for the simulator: ``"wheel"`` (default, the
         hierarchical timer wheel) or ``"heap"`` (the binary-heap oracle).
         Traces are byte-identical either way; see docs/PERFORMANCE.md §6.
+    backend:
+        Execution backend: ``"sim"`` (default — the deterministic
+        single-process simulator, exactly the pre-backend code path) or
+        ``"parallel"`` (real OS workers via :mod:`repro.parallel`, each
+        hosting a shard of the processes; requires a positive
+        :class:`~repro.sim.ConstantLatency` and supports a restricted
+        option set — see docs/API.md and docs/LIMITATIONS.md).
+    workers:
+        Worker count for ``backend="parallel"`` (default 2).  Must be
+        left None for the sim backend.
+    transport:
+        Optional transport factory ``f(sim, latency_model, streams) ->
+        Network`` replacing the default :class:`~repro.sim.Network`.
+        Mutually exclusive with ``faults`` (which implies the
+        ``FaultyNetwork`` transport).  This is the seam the parallel
+        backend's per-worker ``ShardTransport`` plugs into.
+    parallel_opts:
+        Extra options for the parallel backend (placement overrides,
+        lookahead, crash injection for tests); see
+        :class:`repro.parallel.ParallelBackend`.
     """
 
     def __init__(
@@ -323,6 +343,10 @@ class HopeSystem:
         reliable: Any = False,
         failure_detector: Any = False,
         kernel: str = "wheel",
+        backend: str = "sim",
+        workers: Optional[int] = None,
+        transport: Optional[Callable[..., Network]] = None,
+        parallel_opts: Optional[dict] = None,
     ) -> None:
         self.streams = RandomStreams(seed)
         if shuffle_ties:
@@ -337,11 +361,20 @@ class HopeSystem:
         else:
             self.sim = Simulator(kernel=kernel)
         latency_model = latency if latency is not None else ConstantLatency(0.0)
-        if faults is not None:
+        if transport is not None:
+            if faults is not None:
+                raise HopeError(
+                    "transport and faults are mutually exclusive — a fault "
+                    "plan implies the FaultyNetwork transport"
+                )
+            self.network: Network = transport(
+                self.sim, latency_model, self.streams
+            )
+        elif faults is not None:
             # The faulty network draws every probabilistic fate from its
             # own named stream, so turning faults on perturbs none of the
             # other streams (latency, workload, ties, ...).
-            self.network: Network = FaultyNetwork(
+            self.network = FaultyNetwork(
                 self.sim, latency_model, plan=faults,
                 stream=self.streams["faults"],
             )
@@ -433,12 +466,63 @@ class HopeSystem:
         self.detector: Optional[HeartbeatDetector] = (
             HeartbeatDetector(self, failure_detector) if failure_detector else None
         )
+        #: Remote-shard bridge, set only on a worker engine inside the
+        #: parallel backend: observes aid_init (ownership reporting) and
+        #: resolves unknown AID keys by adopting mirrors of remote AIDs.
+        #: None on every standalone system — all remote branches skip.
+        self.remote = None
+        from .backend import SimBackend
+
+        if backend == "sim":
+            if workers is not None:
+                raise HopeError(
+                    "workers is a parallel-backend option; the sim backend "
+                    "runs everything on one simulator"
+                )
+            self.backend: Any = SimBackend(self)
+        elif backend == "parallel":
+            from ..parallel import ParallelBackend
+
+            self.backend = ParallelBackend(
+                self,
+                workers=2 if workers is None else workers,
+                config={
+                    "seed": seed,
+                    "latency": latency,
+                    "rollback_overhead": rollback_overhead,
+                    "strict_aids": strict_aids,
+                    "speculation": speculation,
+                    "fast_rollback": fast_rollback,
+                    "kernel": kernel,
+                    "metered": self._metered,
+                    # options rejected by the parallel backend (validated
+                    # there so the error names every offender at once)
+                    "trace": trace,
+                    "aid_mode": aid_mode,
+                    "shuffle_ties": shuffle_ties,
+                    "fossil_collect": fossil_collect,
+                    "faults": faults,
+                    "reliable": reliable,
+                    "failure_detector": failure_detector,
+                    "transport": transport,
+                },
+                opts=parallel_opts,
+            )
+        else:
+            raise HopeError(
+                f"unknown backend {backend!r} (choose 'sim' or 'parallel')"
+            )
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
     def spawn(self, name: str, fn: Callable[..., Generator], *args: Any) -> ProcessRuntime:
         """Create and start a HOPE process running ``fn(p, *args)``."""
+        return self.backend.spawn(name, fn, *args)
+
+    def _spawn_sim(self, name: str, fn: Callable[..., Generator], *args: Any) -> ProcessRuntime:
+        """Spawn on the local simulator (the SimBackend path; also used by
+        each parallel worker for its own shard)."""
         if name in self.procs:
             raise HopeError(f"process {name!r} already exists")
         proc = ProcessRuntime(name, fn, args)
@@ -454,7 +538,10 @@ class HopeSystem:
         return proc
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
-        """Run the simulation; returns the final virtual time."""
+        """Run the system to quiescence; returns the final virtual time."""
+        return self.backend.run(until, max_events)
+
+    def _run_sim(self, until: Optional[float], max_events: Optional[int]) -> float:
         final = self.sim.run(until=until, max_events=max_events)
         self.timeline.close_all(final)
         return final
@@ -464,6 +551,9 @@ class HopeSystem:
         return self.machine.aid(aid_key(ref))
 
     def aid_status(self, ref: AidRef) -> AidStatus:
+        status = self.backend.aid_status(aid_key(ref))
+        if status is not None:
+            return status
         return self.aid(ref).status
 
     def result_of(self, name: str) -> Any:
@@ -526,6 +616,9 @@ class HopeSystem:
 
     def stats(self) -> dict:
         """Aggregate runtime statistics for benchmarks and tests."""
+        override = self.backend.stats()
+        if override is not None:
+            return override
         machine = dict(self.machine.stats)
         statuses = {"pending": 0, "affirmed": 0, "denied": 0}
         for aid in self.machine.aids.values():
@@ -557,11 +650,10 @@ class HopeSystem:
             "heap_compactions": self.sim.heap_compactions,
             "wasted_time": self.timeline.aggregate(Span.WASTED),
             "busy_time": self.timeline.aggregate(Span.BUSY),
-            **(
-                {"faults": self.network.fault_stats.as_dict()}
-                if isinstance(self.network, FaultyNetwork)
-                else {}
-            ),
+            # Transport-specific blocks (fault counters, parallel wire
+            # stats, ...) are contributed polymorphically — the engine
+            # never type-checks its network.
+            **self.network.stats_entries(),
             **(
                 {"reliable": self.reliable.stats.as_dict()}
                 if self.reliable is not None
@@ -638,6 +730,8 @@ class HopeSystem:
             raise HopeError(
                 "metrics are disabled — construct HopeSystem(metrics=MetricsRegistry())"
             )
+        if self.backend.owns_metrics():
+            return self.metrics
         spec = self.spec_metrics
         spec.busy_time.set(self.timeline.aggregate(Span.BUSY))
         spec.blocked_time.set(self.timeline.aggregate(Span.BLOCKED))
@@ -646,13 +740,7 @@ class HopeSystem:
         spec.resolve_cache_misses.set(machine_stats["resolve_cache_misses"])
         spec.messages_sent.set(self.network.messages_sent)
         spec.sim_events.set(self.sim.events_processed)
-        if isinstance(self.network, FaultyNetwork):
-            fault_stats = self.network.fault_stats
-            spec.net_dropped.set(fault_stats.dropped)
-            spec.net_duplicated.set(fault_stats.duplicated)
-            spec.net_reordered.set(fault_stats.reordered)
-            spec.net_partition_dropped.set(fault_stats.partition_dropped)
-            spec.acks_dropped.set(fault_stats.acks_dropped)
+        self.network.observe_gauges(spec)
         if self.reliable is not None:
             rel = self.reliable.stats
             spec.retries.set(rel.retries)
@@ -895,13 +983,17 @@ class HopeSystem:
         self._handles[aid.key] = handle
         if self._aid_owner is not None:
             self._aid_owner[aid.key] = proc.name
+        if self.remote is not None:
+            # Shard-local AID: the coordinator learns ownership so a dead
+            # worker's unresolved assumptions can be detector-denied.
+            self.remote.note_aid_init(aid.key, proc.name)
         proc.log.append("aid_init", handle)
         if self._tracing:
             self.tracer.record(self.sim.now, "aid_init", proc.name, aid=aid.key)
         task.resume_now(handle)
 
     def _do_guess(self, proc, task, effect: GuessEffect) -> None:
-        aid = self.machine.aid(effect.aid_key)
+        aid = self._lookup_aid(effect.aid_key)
         if not self.speculation and aid.pending:
             # Pessimistic mode: wait for the resolution instead of
             # speculating.  The process stays definite throughout.
@@ -960,7 +1052,7 @@ class HopeSystem:
                     )
                 task.resume_now(None)
                 return
-        aid = self.machine.aid(effect.aid_key)
+        aid = self._lookup_aid(effect.aid_key)
         before = proc.incarnation
         if isinstance(effect, AffirmEffect):
             self.control.issue("affirm", proc.name, aid)
@@ -1097,6 +1189,19 @@ class HopeSystem:
         self.spawn(effect.name, effect.fn, *effect.args)
         proc.log.append("spawn", effect.name)
         task.resume_now(effect.name)
+
+    def _lookup_aid(self, key: str) -> AssumptionId:
+        """Resolve an AID key for a primitive.
+
+        Standalone systems hit the machine directly (unknown keys raise,
+        as ever).  A parallel worker falls back to the remote bridge: a
+        key minted on another shard — whose handle arrived inside a
+        message payload — is adopted as a pending mirror, to be resolved
+        by relayed definite affirms/denies from its owner.
+        """
+        if self.remote is not None:
+            return self.remote.lookup_aid(key)
+        return self.machine.aid(key)
 
     _LIVE_HANDLERS = {
         AidInitEffect: _do_aid_init,

@@ -342,6 +342,19 @@ class Network:
         :class:`~repro.sim.faults.FaultyNetwork` applies its fault plan."""
         return (False, self.latency.sample(src, dst))
 
+    def stats_entries(self) -> dict:
+        """Named stats blocks this transport contributes to
+        :meth:`repro.runtime.engine.HopeSystem.stats` — polymorphic, so
+        the engine never type-checks its network.
+        :class:`~repro.sim.faults.FaultyNetwork` adds ``{"faults": ...}``;
+        the parallel shard transport adds its wire counters."""
+        return {}
+
+    def observe_gauges(self, spec) -> None:
+        """Fill transport-specific gauges on the
+        :class:`repro.obs.SpeculationMetrics` instrument set during a
+        metrics snapshot.  The reliable base network has none."""
+
     def pinned_tag_keys(self) -> set:
         """Union of AID tag keys the network still needs resolvable:
         tagged messages in flight plus those queued in mailboxes (either

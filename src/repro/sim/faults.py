@@ -400,6 +400,20 @@ class FaultyNetwork(Network):
         self._put(box, message)
 
     # ------------------------------------------------------------------
+    # stats (polymorphic Network hooks)
+    # ------------------------------------------------------------------
+    def stats_entries(self) -> dict:
+        return {"faults": self.fault_stats.as_dict()}
+
+    def observe_gauges(self, spec) -> None:
+        stats = self.fault_stats
+        spec.net_dropped.set(stats.dropped)
+        spec.net_duplicated.set(stats.duplicated)
+        spec.net_reordered.set(stats.reordered)
+        spec.net_partition_dropped.set(stats.partition_dropped)
+        spec.acks_dropped.set(stats.acks_dropped)
+
+    # ------------------------------------------------------------------
     # control-plane traffic (acks, heartbeats)
     # ------------------------------------------------------------------
     def control_fate(self, src: str, dst: str) -> tuple[bool, float]:

@@ -223,6 +223,16 @@ class _WheelQueue:
     #: Wheels smaller than this are never swept (mirrors the heap floor).
     COMPACT_MIN = 64
 
+    #: Queues at or below this size run in *sparse mode*: ``_active`` is
+    #: the whole queue (a plain (time, priority, seq) heap) and pushes do
+    #: no tick math at all.  Request/response chains — one or two pending
+    #: events, alternating push/pop — therefore pay exactly what the heap
+    #: kernel pays.  Crossing the threshold migrates into the buckets;
+    #: draining completely drops back to sparse.  Mode is represented by
+    #: the *class* (``_SparseWheelQueue`` vs ``_WheelQueue``), so neither
+    #: mode's hot path carries a mode flag check.
+    SPARSE_MAX = 12
+
     __slots__ = (
         "resolution",
         "_inv",
@@ -252,7 +262,8 @@ class _WheelQueue:
         #: level buckets have tick > _cur; _active may also hold events
         #: scheduled at or before _cur (they sort first in the heap).
         self._cur = 0
-        #: Heap of imminent events (the bucket under drain).
+        #: Heap of imminent events (the bucket under drain; the whole
+        #: queue while sparse).
         self._active: list[ScheduledEvent] = []
         self._b0: list[list[ScheduledEvent]] = [[] for _ in range(64)]
         self._b1: list[list[ScheduledEvent]] = [[] for _ in range(64)]
@@ -265,8 +276,12 @@ class _WheelQueue:
         self._overflow: list[ScheduledEvent] = []
         #: Physical entry count, cancelled included (the sweep heuristic
         #: and tests compare it against the simulator's live counter).
+        #: Only maintained in bucketed mode — while sparse, ``__len__``
+        #: reads ``len(_active)`` and this field is rebuilt on migration.
         self._size = 0
         self.compactions = 0
+        # a new queue is empty, hence sparse
+        self.__class__ = _SparseWheelQueue
 
     # ------------------------------------------------------------------
     # insertion
@@ -276,23 +291,37 @@ class _WheelQueue:
         tick = int(event.time * self._inv)
         if tick <= self._cur:
             heappush(self._active, event)
-        elif (
-            len(self._active) < 8
-            and not (self._o0 | self._o1 | self._o2 | self._o3)
-            and not self._overflow
-        ):
-            # Sparse fast path: the queue is nearly empty and nothing is
-            # placed relative to the cursor, so jump it to this tick and
-            # use the active heap directly.  Sound because _active is a
-            # real (time, priority, seq) heap — earlier-time events pushed
-            # afterwards land there too (their tick is now <= _cur) and
-            # sort first.  A near-empty queue (request/response chains)
-            # never pays bucket maintenance; the size gate keeps bulk
-            # fan-outs on the bucketed path.
-            self._cur = tick
-            heappush(self._active, event)
         else:
             self._insert(event, tick)
+
+    def _migrate(self) -> None:
+        """Leave sparse mode: bucket everything currently in ``_active``.
+
+        The cursor jumps to the earliest live event's tick; events at that
+        tick stay in the active heap (they may fire next), later ones are
+        bucketed.  Placement is relative to the new cursor, so the
+        bucketed-mode invariant — level buckets hold only ticks > ``_cur``
+        — is established by construction and ordering is unchanged.
+        """
+        self.__class__ = _WheelQueue
+        pending = self._active
+        live = [e for e in pending if not e.cancelled]
+        self._size = len(live)
+        self._active = []
+        if not live:
+            return
+        inv = self._inv
+        self._cur = min(int(e.time * inv) for e in live)
+        cur = self._cur
+        active = self._active
+        for event in live:
+            tick = int(event.time * inv)
+            if tick <= cur:
+                active.append(event)
+            else:
+                self._insert(event, tick)
+        if len(active) > 1:
+            heapify(active)
 
     def _insert(self, event: ScheduledEvent, tick: int) -> None:
         """Bucket an event with ``tick > _cur`` (no size accounting)."""
@@ -338,6 +367,8 @@ class _WheelQueue:
                 heappop(active)
                 self._size -= 1
             if not self._advance():
+                # fully drained: next growth starts from sparse mode again
+                self.__class__ = _SparseWheelQueue
                 return None
             active = self._active
 
@@ -476,6 +507,55 @@ class _WheelQueue:
 
     def __len__(self) -> int:
         return self._size
+
+
+class _SparseWheelQueue(_WheelQueue):
+    """The wheel's sparse mode, expressed as a type.
+
+    While the queue holds at most :attr:`_WheelQueue.SPARSE_MAX` entries,
+    ``_active`` is the entire queue and every operation is exactly the
+    heap kernel's (no tick math, no occupancy masks, no size counter) —
+    push pays one extra ``len`` compare to detect the migration
+    threshold, and that is the whole sparse-mode overhead.  Crossing the
+    threshold calls :meth:`_WheelQueue._migrate`, which buckets the
+    backlog and flips ``__class__`` to the bucketed type; draining the
+    bucketed wheel completely flips back here.  Swapping ``__class__``
+    (both classes share the same slot layout) keeps mode dispatch out of
+    the hot paths entirely.
+
+    ``_size`` is NOT maintained in this mode: ``len(_active)`` is the
+    physical count, and migration rebuilds the counter.
+    """
+
+    __slots__ = ()
+
+    def push(self, event: ScheduledEvent) -> None:
+        active = self._active
+        if len(active) < self.SPARSE_MAX:
+            heappush(active, event)
+        else:
+            self._migrate()
+            _WheelQueue.push(self, event)
+
+    def peek(self) -> Optional[ScheduledEvent]:
+        active = self._active
+        while active:
+            event = active[0]
+            if not event.cancelled:
+                return event
+            heappop(active)
+        return None
+
+    def pop_head(self) -> ScheduledEvent:
+        return heappop(self._active)
+
+    def on_cancel(self, live: int) -> None:
+        # at most SPARSE_MAX entries exist; dead memory is bounded and
+        # cancelled heads are dropped by peek, so there is nothing to sweep
+        return
+
+    def __len__(self) -> int:
+        return len(self._active)
 
 
 #: Default tick width of the wheel kernel, in virtual-time units.  The
