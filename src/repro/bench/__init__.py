@@ -1,6 +1,13 @@
 """Benchmark support: workload generators, sweeps, tables, statistics."""
 
-from .reporting import emit, emit_json, format_table, repo_root, results_dir
+from .reporting import (
+    emit,
+    emit_json,
+    format_table,
+    machine_context,
+    repo_root,
+    results_dir,
+)
 from .stats import find_crossover, mean, percentile, speedup
 from .sweeps import SweepResult, sweep
 from .workloads import (
@@ -19,6 +26,7 @@ __all__ = [
     "emit_json",
     "repo_root",
     "results_dir",
+    "machine_context",
     "mean",
     "speedup",
     "percentile",

@@ -9,7 +9,26 @@ from __future__ import annotations
 
 import json
 import os
+import platform
+import sys
 from typing import Any, Sequence
+
+
+def machine_context() -> dict:
+    """The machine a benchmark ran on, for the BENCH_*.json documents.
+
+    Wall-clock numbers are meaningless without the box they came from:
+    the committed JSON files quote milliseconds measured on *some*
+    machine, and a reader comparing against their own run needs to know
+    whether the gap is a regression or a different CPU.
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
 
 
 def format_value(value) -> str:
@@ -71,7 +90,10 @@ def emit_json(name: str, section: str, payload: Any) -> str:
     contribute sections to one document (e.g. ``BENCH_1.json`` collects
     the tracking-overhead and rollback-cascade sweeps) without clobbering
     each other.  The file is rewritten atomically-enough for a bench run
-    (read-modify-write; a corrupt or missing file starts fresh).
+    (read-modify-write; a corrupt or missing file starts fresh).  Every
+    write refreshes the document's ``machine`` section with
+    :func:`machine_context`, so each BENCH_*.json records the box its
+    newest numbers were measured on.
     """
     path = os.path.join(repo_root(), f"{name}.json")
     document: dict[str, Any] = {}
@@ -82,6 +104,7 @@ def emit_json(name: str, section: str, payload: Any) -> str:
         except (OSError, ValueError):
             document = {}
     document[section] = payload
+    document["machine"] = machine_context()
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(document, fh, indent=2, sort_keys=True)
         fh.write("\n")

@@ -186,11 +186,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--kernel",
-        choices=["wheel", "heap"],
+        choices=["wheel", "heap", "window"],
         default="wheel",
-        help="event-queue kernel: hierarchical timer wheel (default) or the "
-        "binary-heap oracle — identical traces either way "
-        "(see docs/PERFORMANCE.md §6)",
+        help="event-queue kernel: hierarchical timer wheel (default), the "
+        "binary-heap oracle, or the bisect-based sorted window — "
+        "identical traces every way (see docs/PERFORMANCE.md §6 and §8)",
     )
     run.add_argument(
         "--fast-rollback",
@@ -209,6 +209,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=64,
         metavar="N",
         help="fossil-collect after every N finalizes (with --fossil-collect)",
+    )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the top 25 functions by "
+        "cumulative time after the run (see docs/PERFORMANCE.md §8)",
+    )
+    run.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        default=None,
+        help="with --profile: also dump raw pstats data to PATH "
+        "(load with pstats.Stats(PATH) or any profile viewer)",
     )
     run.add_argument(
         "--metrics-out",
@@ -326,7 +339,17 @@ def cmd_run(args, out) -> int:
     )
     for spec in args.spawn:
         compiled.spawn(system, spec.instance, spec.process, *spec.args)
-    final = system.run(until=args.until, max_events=args.max_events)
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        final = system.run(until=args.until, max_events=args.max_events)
+    finally:
+        if profiler is not None:
+            profiler.disable()
     stats = system.stats()
     print(f"finished at t={final:g}", file=out)
     for spec in args.spawn:
@@ -374,6 +397,15 @@ def cmd_run(args, out) -> int:
             with open(args.metrics_out, "w", encoding="utf-8") as fh:
                 fh.write(rendered)
             print(f"metrics: wrote {args.metrics_format} to {args.metrics_out}", file=out)
+    if profiler is not None:
+        import pstats
+
+        print("\nprofile (top 25 by cumulative time):", file=out)
+        stats_obj = pstats.Stats(profiler, stream=out)
+        stats_obj.sort_stats("cumulative").print_stats(25)
+        if args.profile_out is not None:
+            stats_obj.dump_stats(args.profile_out)
+            print(f"profile: wrote pstats data to {args.profile_out}", file=out)
     return 0
 
 

@@ -51,6 +51,11 @@ class HistoryEntry:
 class ProcessRecord:
     """Per-process machine state: history, intervals, and the S.I/S.IS/S.G variables."""
 
+    __slots__ = (
+        "name", "history", "intervals", "current", "speculative", "g",
+        "_next_index", "rollback_count",
+    )
+
     def __init__(self, name: str) -> None:
         self.name = name
         self.history: list[HistoryEntry] = []

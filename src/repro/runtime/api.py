@@ -120,7 +120,13 @@ class HopeProcess:
     def send(self, dst: str, payload: Any) -> SendEffect:
         """Asynchronously send ``payload``; automatically tagged with the
         sender's current assumption dependencies (§7)."""
-        return SendEffect(dst, payload)
+        # Built via __new__ + slot stores rather than the constructor:
+        # one effect is allocated per send and skipping the __init__
+        # frame is measurable on the message hot path.
+        effect = _new_effect(SendEffect)
+        effect.dst = dst
+        effect.payload = payload
+        return effect
 
     def recv(
         self,
@@ -203,6 +209,7 @@ class HopeProcess:
 #: handlers only read them, so one object serves every yield — the
 #: allocation per message round-trip was measurable in TRACK).
 _RECV_ANY = RecvEffect(None, None)
+_new_effect = object.__new__
 _NOW = NowEffect()
 _RANDOM = RandomEffect()
 

@@ -53,7 +53,7 @@ from ..sim import (
     Tracer,
 )
 from ..obs import MetricsRegistry, NullRegistry, SpanCollector, SpeculationMetrics
-from ..sim.channel import Message
+from ..sim.channel import Message, _Waiter
 from ..sim.process import Effect
 from .api import AidHandle, AidRef, HopeProcess, aid_key
 from .effects import (
@@ -72,8 +72,19 @@ from .effects import (
     SendEffect,
     SpawnEffect,
 )
+from functools import partial
+
 from .messages import ReceivedMessage
-from .replay import Checkpoint, EffectLog, RebasePoint, ShadowCheckpoint
+
+#: C-level ReceivedMessage constructor (see replay._make_entry).
+_new_received = partial(tuple.__new__, ReceivedMessage)
+from .replay import (
+    Checkpoint,
+    EffectLog,
+    RebasePoint,
+    ShadowCheckpoint,
+    _make_entry,
+)
 from .resilience import (
     DETECTOR_PID,
     DetectorConfig,
@@ -116,6 +127,12 @@ class OutputRecord:
 
 class ProcessRuntime:
     """Per-process runtime state: body, effect log, current task incarnation."""
+
+    __slots__ = (
+        "name", "fn", "args", "facade", "log", "shadow", "task",
+        "incarnation", "restarts", "done", "result", "crashed", "outputs",
+        "track", "mailbox", "mproc", "bridge", "rebase", "rebase_candidates",
+    )
 
     def __init__(self, name: str, fn: Callable[..., Generator], args: tuple) -> None:
         self.name = name
@@ -179,7 +196,8 @@ class _RecvBridge:
     """
 
     __slots__ = (
-        "engine", "proc", "effect", "incarnation", "sync", "on_kill", "_cleanups"
+        "engine", "proc", "effect", "incarnation", "sync", "on_kill",
+        "waiter", "_cleanup",
     )
 
     def __init__(self, engine: "HopeSystem", proc: ProcessRuntime, effect: RecvEffect) -> None:
@@ -197,22 +215,29 @@ class _RecvBridge:
         #: effect via resume_now and drain the whole same-tick backlog in
         #: one flat dispatch loop.
         self.sync = False
-        self._cleanups: list[Callable[[], None]] = []
+        #: Reusable mailbox waiter: one recv is outstanding at a time, so
+        #: timer-less recvs re-register this single object instead of
+        #: allocating a _Waiter per message (register_waiter fast path).
+        self.waiter = _Waiter(self, None, None, proc.mailbox)
+        #: The mailbox-unregistration cleanup for the recv in flight.  At
+        #: most one is ever registered (one outstanding recv), so a single
+        #: slot replaces the list append/clear churn of the Task protocol.
+        self._cleanup: Optional[Callable[[], None]] = None
 
     # Mailbox-facing protocol (duck-typed Task):
     def resume(self, value: Any) -> None:
         self.engine._deliver(self.proc, self.effect, value, self)
 
     def add_cleanup(self, fn: Callable[[], None]) -> None:
-        self._cleanups.append(fn)
+        self._cleanup = fn
 
     def clear_cleanups(self) -> None:
-        self._cleanups.clear()
+        self._cleanup = None
 
     def cancel(self) -> None:
-        """Run mailbox-removal cleanups (invoked when the real task dies)."""
-        cleanups, self._cleanups = self._cleanups, []
-        for fn in cleanups:
+        """Run the mailbox-removal cleanup (invoked when the real task dies)."""
+        fn, self._cleanup = self._cleanup, None
+        if fn is not None:
             fn()
 
 
@@ -382,6 +407,10 @@ class HopeSystem:
             self.network = Network(self.sim, latency_model)
         self.machine = Machine(strict=strict_aids)
         self.machine.subscribe(self._on_machine_event)
+        #: Pre-bound effect-dispatch lookup and interned-empty DepSet —
+        #: read once per effect / per definite send (see _handle_effect).
+        self._handler_get = self._LIVE_HANDLERS.get
+        self._empty_ido = self.machine.depsets.empty
         self.tracer = trace if trace is not None else Tracer(categories=())
         #: Hot-path guard: with a disabled tracer every per-effect record
         #: call is pure overhead, so the handlers skip them wholesale.
@@ -948,7 +977,10 @@ class HopeSystem:
         proc: ProcessRuntime = task.env.context
         # Handler lookup doubles as the type check: only HOPE effects are
         # registered, so a miss means a foreign (or subclassed) effect.
-        handler = self._LIVE_HANDLERS.get(type(effect))
+        # (_handler_get is _LIVE_HANDLERS.get pre-bound at __init__ — this
+        # runs once per live effect, and the class-attribute walk plus
+        # method bind were measurable.)
+        handler = self._handler_get(type(effect))
         if handler is None:
             raise HopeError(
                 f"HOPE process {proc.name!r} yielded non-HOPE effect {effect!r}; "
@@ -961,14 +993,15 @@ class HopeSystem:
         # event per entry.  No virtual time passes during replay either
         # way, and the replaying task interacts with nothing live, so
         # collapsing the per-entry events is behaviour-preserving.
-        # (log.cursor < len(...) is `log.replaying`, inlined: this guard
-        # runs once per live effect and the property call was measurable.)
-        while log.cursor - log.base < len(log.entries):
+        # (log.pending is `log.replaying` as a maintained counter: this
+        # guard runs once per live effect and the index arithmetic, let
+        # alone the property call, was measurable.)
+        while log.pending:
             result = log.feed(effect.kind)
             effect = task.drive(result)
             if effect is None:
                 return  # the incarnation finished (or died) mid-replay
-            handler = self._LIVE_HANDLERS.get(type(effect))
+            handler = self._handler_get(type(effect))
             if handler is None:
                 raise HopeError(
                     f"HOPE process {proc.name!r} yielded non-HOPE effect "
@@ -1074,7 +1107,7 @@ class HopeSystem:
 
     def _do_send(self, proc, task, effect: SendEffect) -> None:
         current = proc.mproc.current
-        ido = current.ido if current is not None else self.machine.depsets.empty
+        ido = current.ido if current is not None else self._empty_ido
         tags = ido.tag_keys           # interned: O(1) after the first send
         if self.reliable is not None:
             msg_id, delivery = self.reliable.send(
@@ -1087,7 +1120,11 @@ class HopeSystem:
             msg_id = delivery.message.msg_id
         if current is not None:
             current.meta.setdefault("sent", []).append(delivery)
-        proc.log.append("send", msg_id)
+        # log.append inlined (hot path: one entry per send): the live-side
+        # invariant is cursor == base + len(entries), so += 1 suffices.
+        log = proc.log
+        log.entries.append(_make_entry(("send", msg_id)))
+        log.cursor += 1
         if self._tracing:
             self.tracer.record(
                 self.sim.now, "send", proc.name, dst=effect.dst, tags=len(tags)
@@ -1103,8 +1140,13 @@ class HopeSystem:
             # bridge is reusable — only the effect (predicate/timeout)
             # changes between recvs.
             bridge.effect = effect
-        task.add_cleanup(bridge.on_kill)
-        proc.track.mark(Span.BLOCKED, self.sim.now)
+        task._cleanups.append(bridge.on_kill)
+        track = proc.track
+        open_span = track._open
+        if open_span is None or open_span.kind != Span.BLOCKED:
+            # Inlined mark() early-return: in steady-state message loops
+            # the track is already BLOCKED and the call was pure overhead.
+            track.mark(Span.BLOCKED, self.sim._now)
         # Inside the dispatch trampoline: a synchronous delivery (message
         # already queued) completes the effect via resume_now, so a
         # process draining a same-tick backlog re-enters the trampoline,
@@ -1112,13 +1154,29 @@ class HopeSystem:
         # instead of once per message.
         bridge.sync = True
         try:
-            proc.mailbox.register_receiver(bridge, effect.timeout, effect.predicate)
+            if effect.timeout is None:
+                # Timer-less recv (the hot path): re-register the bridge's
+                # reusable waiter instead of allocating one per message.
+                waiter = bridge.waiter
+                waiter.predicate = effect.predicate
+                proc.mailbox.register_waiter(waiter)
+            else:
+                proc.mailbox.register_receiver(
+                    bridge, effect.timeout, effect.predicate
+                )
         finally:
             bridge.sync = False
 
     def _register_bridge(self, bridge: _RecvBridge) -> None:
         effect = bridge.effect
-        bridge.proc.mailbox.register_receiver(bridge, effect.timeout, effect.predicate)
+        if effect.timeout is None:
+            waiter = bridge.waiter
+            waiter.predicate = effect.predicate
+            bridge.proc.mailbox.register_waiter(waiter)
+        else:
+            bridge.proc.mailbox.register_receiver(
+                bridge, effect.timeout, effect.predicate
+            )
 
     def _do_compute(self, proc, task, effect: ComputeEffect) -> None:
         proc.track.mark(Span.BUSY, self.sim.now)
@@ -1245,7 +1303,6 @@ class HopeSystem:
         if proc.incarnation != bridge.incarnation:
             return  # stale delivery aimed at a rolled-back incarnation
         task = proc.task
-        assert task is not None
         if value is TIMED_OUT:
             proc.log.append("recv", TIMED_OUT)
             if self._tracing:
@@ -1279,16 +1336,21 @@ class HopeSystem:
                             proc.name,
                             aids=tuple(sorted(a.key for a in deps)),
                         )
-        received = ReceivedMessage(message.payload, message.src, message.msg_id)
+        # tuple.__new__ pre-bound to the class — skips the generated
+        # namedtuple __new__ frame (one allocation per delivered message).
+        received = _new_received((message.payload, message.src, message.msg_id))
         current = proc.mproc.current
         if current is not None:
             current.meta.setdefault("received", []).append(message)
-        proc.log.append("recv", received)
+        # log.append inlined, as in _do_send (one entry per delivery).
+        log = proc.log
+        log.entries.append(_make_entry(("recv", received)))
+        log.cursor += 1
         if self._tracing:
             self.tracer.record(
                 self.sim.now, "recv", proc.name, src=message.src, msg=message.msg_id
             )
-        task.clear_cleanups()
+        task._cleanups.clear()
         if bridge.sync:
             # Registration found the message already queued: the dispatch
             # trampoline is on the stack, so complete the recv flat.
@@ -1299,8 +1361,12 @@ class HopeSystem:
             task.resume(received)
         else:
             # Delivery/timer event context: step the generator directly
-            # instead of burning a resume event per message.
-            task.resume_inline(received)
+            # instead of burning a resume event per message
+            # (resume_inline, flattened — this runs once per delivery).
+            task._pending = None
+            follow = task._drive(received, False)
+            if follow is not None:
+                task.dispatch(follow)
 
     def _resolve_message_tags(self, message: Message):
         return self.machine.resolve_tag_keys(message.tags)

@@ -27,6 +27,7 @@ docs/PERFORMANCE.md for the exact contract (bodies must be effect-pure).
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, NamedTuple
 
 from ..core.errors import HopeError
@@ -54,6 +55,13 @@ class LogEntry(NamedTuple):
 
     def __repr__(self) -> str:
         return f"LogEntry({self.kind}, {self.result!r})"
+
+
+#: C-level LogEntry constructor: ``tuple.__new__`` pre-bound to the class
+#: via partial, skipping both the generated namedtuple ``__new__`` frame
+#: and the ``_make`` classmethod wrapper frame — two entries are appended
+#: per message round-trip and the extra frames were measurable.
+_make_entry = partial(tuple.__new__, LogEntry)
 
 
 class Checkpoint:
@@ -114,11 +122,29 @@ class EffectLog:
     the prefix is only sound once a rebase point at ``base`` exists.
     """
 
+    __slots__ = (
+        "entries",
+        "base",
+        "cursor",
+        "pending",
+        "replay_count",
+        "replayed_entries_total",
+        "skipped_entries_total",
+        "shadow_feeds_total",
+        "fossil_dropped_total",
+    )
+
     def __init__(self) -> None:
         self.entries: list[LogEntry] = []
         #: Absolute position of ``entries[0]`` (entries dropped in front).
         self.base = 0
         self.cursor = 0
+        #: Entries still to be re-fed before the process is live again —
+        #: always ``base + len(entries) - cursor``, maintained explicitly
+        #: because the engine consults it once per live effect (the replay
+        #: fast-forward guard) and the three-load arithmetic was
+        #: measurable there.
+        self.pending = 0
         self.replay_count = 0
         self.replayed_entries_total = 0
         #: Entries a rollback did NOT re-feed because a shadow checkpoint
@@ -133,10 +159,11 @@ class EffectLog:
     # live side
     # ------------------------------------------------------------------
     def append(self, kind: str, result: Any) -> None:
-        self.entries.append(LogEntry(kind, result))
-        # Live appends keep the cursor at the tail so ``replaying`` stays
-        # False; only begin_replay rewinds it.
-        self.cursor = self.base + len(self.entries)
+        self.entries.append(_make_entry((kind, result)))
+        # Live appends keep the cursor at the tail (the live-side
+        # invariant ``cursor == base + len(entries)``, so += 1 suffices);
+        # only begin_replay rewinds it.
+        self.cursor += 1
 
     def __len__(self) -> int:
         """Absolute journal length (including the dropped prefix)."""
@@ -151,7 +178,7 @@ class EffectLog:
     # ------------------------------------------------------------------
     @property
     def replaying(self) -> bool:
-        return self.cursor < self.base + len(self.entries)
+        return self.pending > 0
 
     def begin_replay(self) -> None:
         """Reset the cursor for a fresh incarnation.
@@ -161,6 +188,7 @@ class EffectLog:
         the promoted rebase state instead of re-feeding it.
         """
         self.cursor = self.base
+        self.pending = len(self.entries)
         if self.entries:
             self.replay_count += 1
 
@@ -178,6 +206,7 @@ class EffectLog:
                 f"[{self.base}, {len(self)}]"
             )
         self.cursor = index
+        self.pending = len(self) - index
         self.skipped_entries_total += index - self.base
         if self.cursor < len(self):
             self.replay_count += 1
@@ -192,6 +221,7 @@ class EffectLog:
                 "body is not deterministic in its effect results"
             )
         self.cursor += 1
+        self.pending -= 1
         self.replayed_entries_total += 1
         return entry.result
 
@@ -210,6 +240,7 @@ class EffectLog:
             self.entries.clear()
             self.base = 0
             self.cursor = 0
+            self.pending = 0
             return dropped
         if index < self.base:
             raise HopeError(
@@ -224,6 +255,7 @@ class EffectLog:
         del self.entries[index - self.base :]
         if self.cursor > index:
             self.cursor = index
+        self.pending = self.base + len(self.entries) - self.cursor
         return dropped
 
     def drop_prefix(self, index: int) -> int:

@@ -91,14 +91,22 @@ class Delivery:
 
 
 class _Waiter:
-    """A task blocked on a mailbox, with an optional timeout timer."""
+    """A task blocked on a mailbox, with an optional timeout timer.
 
-    __slots__ = ("task", "timer", "predicate")
+    The waiter is its own unregistration callback (``__call__``), so
+    registering the task-kill cleanup needs no per-recv lambda.
+    """
 
-    def __init__(self, task: Task, timer: Optional[ScheduledEvent], predicate) -> None:
+    __slots__ = ("task", "timer", "predicate", "box")
+
+    def __init__(self, task: Task, timer: Optional[ScheduledEvent], predicate, box) -> None:
         self.task = task
         self.timer = timer
         self.predicate = predicate
+        self.box = box
+
+    def __call__(self) -> None:
+        self.box._remove_waiter(self)
 
 
 class Mailbox:
@@ -108,12 +116,15 @@ class Mailbox:
     reply matching); unmatched messages stay queued in order.
     """
 
+    __slots__ = ("sim", "owner", "_queue", "_waiters", "delivered_count", "_timeout_label")
+
     def __init__(self, sim: Simulator, owner: str) -> None:
         self.sim = sim
         self.owner = owner
         self._queue: deque[Message] = deque()
         self._waiters: deque[_Waiter] = deque()
         self.delivered_count = 0
+        self._timeout_label = "recv-timeout:" + owner
 
     # ------------------------------------------------------------------
     # producer side
@@ -124,9 +135,19 @@ class Mailbox:
             return
         message.deliver_time = self.sim.now
         self.delivered_count += 1
-        for waiter in list(self._waiters):
+        waiters = self._waiters
+        if waiters and waiters[0].predicate is None:
+            # Common case — an unconditional receiver at the head: no
+            # snapshot of the wait list, no predicate calls.
+            waiter = waiters.popleft()
+            if waiter.timer is not None:
+                waiter.timer.cancel()
+            waiter.task.clear_cleanups()
+            waiter.task.resume(message)
+            return
+        for waiter in list(waiters):
             if waiter.predicate is None or waiter.predicate(message):
-                self._waiters.remove(waiter)
+                waiters.remove(waiter)
                 if waiter.timer is not None:
                     waiter.timer.cancel()
                 waiter.task.clear_cleanups()
@@ -155,21 +176,43 @@ class Mailbox:
         predicate: Optional[Callable[[Message], bool]] = None,
     ) -> None:
         """Attach a blocked receiver; resumes with a Message or TIMED_OUT."""
-        self._drop_dead()
-        for idx, message in enumerate(self._queue):
-            if predicate is None or predicate(message):
-                del self._queue[idx]
-                task.resume(message)
-                return
-        timer: Optional[ScheduledEvent] = None
-        waiter = _Waiter(task, None, predicate)
+        if self._queue:
+            # dead-sweep and scan only when something is actually queued —
+            # the hot path (ping-pong style alternation) always finds the
+            # queue empty here.
+            self._drop_dead()
+            for idx, message in enumerate(self._queue):
+                if predicate is None or predicate(message):
+                    del self._queue[idx]
+                    task.resume(message)
+                    return
+        waiter = _Waiter(task, None, predicate, self)
         if timeout is not None:
-            timer = self.sim.schedule(
-                timeout, self._timeout_waiter, waiter, label=f"recv-timeout:{self.owner}"
+            waiter.timer = self.sim.schedule(
+                timeout, self._timeout_waiter, waiter, label=self._timeout_label
             )
-            waiter.timer = timer
         self._waiters.append(waiter)
-        task.add_cleanup(lambda: self._remove_waiter(waiter))
+        task.add_cleanup(waiter)
+
+    def register_waiter(self, waiter: _Waiter) -> None:
+        """:meth:`register_receiver` for a caller-owned, timer-less waiter.
+
+        A receiver that blocks on the same mailbox over and over (the HOPE
+        recv bridge) keeps one ``_Waiter`` and re-registers it instead of
+        allocating a fresh one per recv; the caller must have set
+        ``predicate`` and left ``timer`` None.  Only legal while the
+        waiter is not already enqueued (one outstanding recv at a time).
+        """
+        predicate = waiter.predicate
+        if self._queue:
+            self._drop_dead()
+            for idx, message in enumerate(self._queue):
+                if predicate is None or predicate(message):
+                    del self._queue[idx]
+                    waiter.task.resume(message)
+                    return
+        self._waiters.append(waiter)
+        waiter.task.add_cleanup(waiter)
 
     def _timeout_waiter(self, waiter: _Waiter) -> None:
         if waiter in self._waiters:
@@ -260,6 +303,25 @@ class Network:
         #: uses this for receiver-side dedup and to model a crashed node
         #: dropping arrivals).  None keeps the exact pre-hook fast path.
         self.deliver_hook: Optional[Callable[[Message], bool]] = None
+        #: Cached per-link debug labels for delivery events (an f-string
+        #: per send was measurable on the send hot path).
+        self._labels: dict[tuple, str] = {}
+        #: Same-tick delivery coalescing (see :meth:`send`): the most
+        #: recently scheduled delivery as ``[event, entries, box, message,
+        #: delivery]``; ``entries`` is None until a second delivery is
+        #: merged into the event.  Only the exactly-once base transport
+        #: coalesces — a subclassed ``_schedule_delivery`` (fault
+        #: injection) or a priority tie-break stream disables it, since
+        #: both hang per-event behaviour on each delivery owning an event.
+        self._open_batch: Optional[list] = None
+        #: The entries list of the sweep currently being delivered (None
+        #: outside :meth:`_sweep_deliveries`) — appends are only legal
+        #: into a still-pending event or a live iteration.
+        self._sweep_live: Optional[list] = None
+        self._can_batch = (
+            type(self)._schedule_delivery is Network._schedule_delivery
+            and sim._tie_breaker is None
+        )
 
     def register(self, name: str) -> Mailbox:
         """Create (or fetch) the mailbox for endpoint ``name``."""
@@ -291,6 +353,16 @@ class Network:
 
         ``msg_id`` lets a retransmission reuse the original id so the
         receiver can dedup; fresh sends leave it None for an auto id.
+
+        Same-tick coalescing: when this delivery would fire at exactly the
+        same virtual time as the previously scheduled one *and* no other
+        event has been scheduled in between (``seq`` adjacency — so no
+        event can possibly order between the two), the message rides the
+        previous delivery's event as one sweep instead of paying its own
+        scheduler round-trip.  Sequence numbers are allocated per
+        ``schedule`` call, so adjacency makes the merged order provably
+        identical to the unmerged one: traces stay byte-identical.  This
+        is what turns an n-way same-latency fan-out into one event.
         """
         box = self.mailbox(dst)
         # message ids are per-network so equal seeds replay identically
@@ -304,10 +376,72 @@ class Network:
             if latency_override is not None
             else self.latency.sample(src, dst)
         )
+        batch = self._open_batch
+        if batch is not None:
+            sim = self.sim
+            levent = batch[0]
+            if (
+                sim._seq_next == levent.seq + 1
+                and levent.time == sim._now + delay
+                and delay >= 0.0
+                and not levent.cancelled
+            ):
+                entries = batch[1]
+                # The rider may only join a delivery that will still
+                # happen: either the event is pending (``sim`` is detached
+                # at pop — rewiring or appending before it fires is always
+                # safe), or it is the sweep the network is delivering
+                # *right now* (this send came from an inline trampoline
+                # inside the loop, and list appends are picked up by the
+                # ongoing iteration, in order).  Seq adjacency alone is
+                # not enough: a zero-delay send issued after the event's
+                # callback chain unwound (e.g. from top-level code between
+                # ``run`` calls) can still satisfy it.
+                if levent.sim is not None or (
+                    entries is not None and self._sweep_live is entries
+                ):
+                    if entries is None:
+                        # Second rider: upgrade the scheduled single
+                        # delivery to a sweep.  The first message's
+                        # Delivery handle stops owning the (now shared)
+                        # event — retraction falls back to dead-marking,
+                        # which the sweep honours.
+                        entries = batch[1] = [(batch[2], batch[3])]
+                        levent.fn = self._sweep_deliveries
+                        levent.args = (entries,)
+                        batch[4]._event = None
+                    entries.append((box, message))
+                    if message.tags:
+                        self._inflight_tagged[message.msg_id] = message
+                    self.messages_sent += 1
+                    self.tag_count_total += len(message.tags)
+                    return Delivery(message, None)
         event = self._schedule_delivery(box, message, delay)
         self.messages_sent += 1
         self.tag_count_total += len(message.tags)
-        return Delivery(message, event)
+        delivery = Delivery(message, event)
+        if event is not None and self._can_batch:
+            self._open_batch = [event, None, box, message, delivery]
+        return delivery
+
+    def _sweep_deliveries(self, entries: list) -> None:
+        """Deliver a coalesced batch, in original (seq) schedule order.
+
+        Per message this is exactly what the dedicated delivery callbacks
+        (``box.put`` / :meth:`_put` / :meth:`_deliver_tagged`) would have
+        done at the same instant."""
+        inflight = self._inflight_tagged
+        self._sweep_live = entries
+        try:
+            for box, message in entries:
+                if message.tags:
+                    inflight.pop(message.msg_id, None)
+                hook = self.deliver_hook
+                if hook is not None and not message.dead and not hook(message):
+                    continue
+                box.put(message)
+        finally:
+            self._sweep_live = None
 
     def _schedule_delivery(
         self, box: Mailbox, message: Message, delay: float
@@ -318,7 +452,10 @@ class Network:
         duplicate, reorder, and jitter; the base class delivers exactly
         once after ``delay``.
         """
-        label = f"deliver:{message.src}->{message.dst}"
+        key = (message.src, message.dst)
+        label = self._labels.get(key)
+        if label is None:
+            label = self._labels[key] = f"deliver:{message.src}->{message.dst}"
         if message.tags:
             self._inflight_tagged[message.msg_id] = message
             return self.sim.schedule(delay, self._deliver_tagged, box, message, label=label)

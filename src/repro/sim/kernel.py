@@ -12,7 +12,7 @@ latency argument (30 ms coast-to-coast photons vs. 3 million instructions)
 only depends on *ratios* of latency to compute, so units are deliberately
 abstract; benchmarks pick ratios, not microseconds.
 
-Two interchangeable event-queue kernels implement the same total order:
+Three interchangeable event-queue kernels implement the same total order:
 
 * ``kernel="wheel"`` (default) — a hierarchical timer wheel: virtual time
   is quantized into ticks, near-future ticks hash into per-level bucket
@@ -25,10 +25,17 @@ Two interchangeable event-queue kernels implement the same total order:
   reached (with a sweep fallback when they pile up; see
   :meth:`_WheelQueue.on_cancel`).
 * ``kernel="heap"`` — the classic binary heap.  Kept as the differential
-  oracle: both kernels must produce byte-identical traces, and the wheel
+  oracle: all kernels must produce byte-identical traces, and the kernel
   tests assert exactly that.  It can also win on very sparse, wide-range
   schedules where bucket cascades outcost ``heapq``'s C implementation
   (see docs/PERFORMANCE.md §6).
+* ``kernel="window"`` — a sorted "active window" list: ``bisect.insort``
+  insertion (C binary search + memmove), O(1) comparison-free pops via a
+  head index.  Near-parity with the heap on the small queues that
+  request/response chains keep (C ``heapq`` does no comparisons and no
+  allocation at queue size 1, so there is nothing left to beat there);
+  degrades to O(n) inserts on very large fan-out backlogs
+  (see docs/PERFORMANCE.md §8).
 
 Determinism: events fire in ``(time, priority, seq)`` order — a
 monotonically increasing sequence number breaks ties at the same
@@ -42,8 +49,8 @@ schedules exactly.
 
 from __future__ import annotations
 
+from bisect import insort
 from heapq import heapify, heappop, heappush
-import itertools
 from typing import Any, Callable, Optional
 
 
@@ -74,7 +81,7 @@ class ScheduledEvent:
     concurrent events.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "label", "priority", "sim")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "label", "priority", "sim", "key")
 
     def __init__(
         self,
@@ -96,6 +103,11 @@ class ScheduledEvent:
         #: Owning simulator, so cancellation can keep its live-event count
         #: exact without a queue scan (None for standalone events).
         self.sim = sim
+        #: Precomputed sort key.  time/priority/seq never change after
+        #: construction, and heap sift chains compare the same event many
+        #: times — building the two tuples inside ``__lt__`` per comparison
+        #: was measurable on every kernel.
+        self.key = (time, priority, seq)
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Idempotent."""
@@ -108,11 +120,7 @@ class ScheduledEvent:
             sim._queue.on_cancel(sim._live)
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
-        return (self.time, self.priority, self.seq) < (
-            other.time,
-            other.priority,
-            other.seq,
-        )
+        return self.key < other.key
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self.cancelled else "pending"
@@ -177,6 +185,97 @@ class _HeapQueue:
 
     def __len__(self) -> int:
         return len(self._heap)
+
+
+class _WindowQueue:
+    """Sorted active window — a ``bisect``-based event queue.
+
+    The queue is one Python list kept sorted *ascending* by the event's
+    precomputed ``key`` with a head index: entries are ``(key, event)``
+    2-tuples (no per-push key rebuild, no negations), the minimum lives
+    at ``_window[_head]``, and popping just advances the index — O(1),
+    comparison-free.  Insertion is ``bisect.insort`` over the live
+    region (``lo=_head``) — an O(log n) C-level binary search plus one C
+    ``memmove``.  For the small-to-medium queues the HOPE workloads keep
+    (a handful of in-flight deliveries and timers), this avoids the
+    heap's Python-level ``__lt__`` sift chains on pushes and holds
+    near-parity with C ``heapq`` (which concedes nothing at queue size
+    1: no comparisons, no allocation); on very large fan-out backlogs
+    the memmove turns O(n) per insert and the wheel/heap win (see
+    docs/PERFORMANCE.md §8), which is why the wheel stays the default.
+
+    The live region stays sorted under ``lo=_head`` even though consumed
+    prefix entries are stale: ``insort`` never inspects them.  Seqs are
+    unique, so the key tuples are totally ordered and the ``event``
+    element is never compared.  Cancellation is lazy with the same
+    dead-dominance compaction trigger as the heap — but compaction is a
+    plain filter (order is already established; no ``heapify``).
+    """
+
+    #: Windows smaller than this are never compacted (same floor as the
+    #: heap: rebuilding a tiny list costs more than skipping its heads).
+    COMPACT_MIN = 64
+    #: Consumed-prefix trim floor: pops only advance ``_head``; the dead
+    #: prefix is deleted wholesale once it is both this long and at least
+    #: half the list.  Every trimmed slot was popped exactly once, so the
+    #: memmove is amortized O(1) per event.
+    TRIM_MIN = 512
+
+    __slots__ = ("_window", "_head", "compactions")
+
+    def __init__(self) -> None:
+        self._window: list[tuple] = []
+        self._head = 0
+        self.compactions = 0
+
+    def push(self, event: ScheduledEvent) -> None:
+        insort(self._window, (event.key, event), lo=self._head)
+
+    def peek(self) -> Optional[ScheduledEvent]:
+        """Next live event (lazily skipping cancelled heads), or None."""
+        window = self._window
+        head = self._head
+        size = len(window)
+        while head < size:
+            event = window[head][1]
+            if not event.cancelled:
+                self._head = head
+                return event
+            head += 1
+        del window[:]
+        self._head = 0
+        return None
+
+    def pop_head(self) -> ScheduledEvent:
+        """Remove and return the head.  Only valid right after a
+        non-None :meth:`peek` (which guarantees a live head)."""
+        head = self._head
+        event = self._window[head][1]
+        head += 1
+        if head >= self.TRIM_MIN and head * 2 >= len(self._window):
+            del self._window[:head]
+            head = 0
+        self._head = head
+        return event
+
+    def on_cancel(self, live: int) -> None:
+        """Filter out cancelled entries once they dominate (cf. the heap's
+        compaction; a filtered sorted list stays sorted, so this is the
+        cheapest compaction of the three kernels)."""
+        window = self._window
+        size = len(window) - self._head
+        if size < self.COMPACT_MIN:
+            return
+        if (size - live) * 2 <= size:
+            return
+        self._window = [
+            entry for entry in window[self._head :] if not entry[1].cancelled
+        ]
+        self._head = 0
+        self.compactions += 1
+
+    def __len__(self) -> int:
+        return len(self._window) - self._head
 
 
 class _WheelQueue:
@@ -576,10 +675,11 @@ class Simulator:
         sim.run()
 
     ``kernel`` selects the event-queue implementation: ``"wheel"`` (the
-    default hierarchical timer wheel) or ``"heap"`` (the classic binary
-    heap, kept as a differential oracle — both produce byte-identical
-    event orders).  ``wheel_resolution`` sets the wheel's tick width in
-    virtual-time units; it affects performance only, never ordering.
+    default hierarchical timer wheel), ``"heap"`` (the classic binary
+    heap, kept as a differential oracle), or ``"window"`` (a bisect-based
+    sorted list) — all three produce byte-identical event orders.
+    ``wheel_resolution`` sets the wheel's tick width in virtual-time
+    units; it affects performance only, never ordering.
 
     Higher layers rarely call :meth:`schedule` directly; they use
     :class:`repro.sim.process.Task` coroutines and
@@ -597,16 +697,22 @@ class Simulator:
             self._queue: Any = _WheelQueue(wheel_resolution)
         elif kernel == "heap":
             self._queue = _HeapQueue()
+        elif kernel == "window":
+            self._queue = _WindowQueue()
         else:
             raise SimulationError(
-                f"unknown kernel {kernel!r} (choose 'heap' or 'wheel')"
+                f"unknown kernel {kernel!r} (choose 'heap', 'wheel', or 'window')"
             )
         self.kernel = kernel
         #: Count of not-yet-cancelled, not-yet-executed events.  Kept exact
         #: by schedule/cancel/pop so :attr:`pending_events` is O(1) instead
         #: of a queue scan (benchmarks poll it per-iteration).
         self._live = 0
-        self._seq = itertools.count()
+        #: Next sequence number, as a readable integer (not an opaque
+        #: counter object): the network's same-tick delivery coalescing
+        #: checks "has anything been scheduled since event X?" by
+        #: comparing this against ``X.seq + 1``.
+        self._seq_next = 0
         self._events_processed = 0
         self._running = False
         self._stopped = False
@@ -657,8 +763,10 @@ class Simulator:
         if delay < 0:
             raise ScheduleInPastError(f"cannot schedule {delay} time units in the past")
         priority = self._tie_breaker() if self._tie_breaker is not None else 0
+        seq = self._seq_next
+        self._seq_next = seq + 1
         event = ScheduledEvent(
-            self._now + delay, next(self._seq), fn, args, label, priority, sim=self
+            self._now + delay, seq, fn, args, label, priority, sim=self
         )
         self._queue.push(event)
         self._live += 1

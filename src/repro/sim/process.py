@@ -167,6 +167,12 @@ class Task:
     and tagging on every effect.
     """
 
+    __slots__ = (
+        "sim", "name", "fn", "args", "env", "handler", "on_exit", "result",
+        "error", "_gen", "_state", "_pending", "_cleanups", "_has_inline",
+        "_inline_value", "_resume_label", "_throw_label",
+    )
+
     _FRESH = "fresh"
     _RUNNING = "running"
     _WAITING = "waiting"
@@ -199,6 +205,10 @@ class Task:
         self._cleanups: list[Callable[[], None]] = []
         self._has_inline = False
         self._inline_value: Any = None
+        #: Debug labels for the per-resume events, formatted once — an
+        #: f-string per resume/throw was measurable on the resume path.
+        self._resume_label = "resume:" + name
+        self._throw_label = "throw:" + name
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -263,12 +273,12 @@ class Task:
         handlers never re-enter the generator from within its own yield.
         """
         self._expect_waiting("resume")
-        self._pending = self.sim.call_soon(self._step, value, False, label=f"resume:{self.name}")
+        self._pending = self.sim.call_soon(self._step, value, False, label=self._resume_label)
 
     def throw(self, exc: BaseException) -> None:
         """Resume the generator by raising ``exc`` at its yield point."""
         self._expect_waiting("throw")
-        self._pending = self.sim.call_soon(self._step, exc, True, label=f"throw:{self.name}")
+        self._pending = self.sim.call_soon(self._step, exc, True, label=self._throw_label)
 
     def resume_inline(self, value: Any = None) -> None:
         """Resume immediately, from within this task's own pending callback.
@@ -279,7 +289,10 @@ class Task:
         :meth:`resume` (which would see a stale pending event and refuse).
         """
         self._pending = None
-        self._step(value, False)
+        # _step inlined: this runs once per batched delivery.
+        effect = self._drive(value, False)
+        if effect is not None:
+            self.dispatch(effect)
 
     def resume_now(self, value: Any = None) -> None:
         """Complete the current effect synchronously, from *inside* its
@@ -293,7 +306,11 @@ class Task:
         completion arrives later (timeouts, message delivery) must keep
         using :meth:`resume`.
         """
-        self._expect_waiting("resume_now")
+        # Inlined _expect_waiting (this runs once per synchronous effect;
+        # the extra frame was measurable): the slow path only re-runs the
+        # checks to raise the standard error.
+        if self._state != Task._WAITING or self._pending is not None:
+            self._expect_waiting("resume_now")
         self._has_inline = True
         self._inline_value = value
 
@@ -349,8 +366,9 @@ class Task:
         stay flat instead of recursing or burning one simulator event
         each.
         """
+        handler = self.handler  # loop-invariant for the life of the task
         while True:
-            self.handler(self, effect)
+            handler(self, effect)
             if not self._has_inline:
                 return
             self._has_inline = False
@@ -378,9 +396,9 @@ class Task:
         return self._drive(value, False)
 
     def _drive(self, value: Any, is_throw: bool) -> Optional[Effect]:
-        assert self._gen is not None
         self._pending = None
-        self._run_cleanups()
+        if self._cleanups:
+            self._run_cleanups()
         self._state = Task._RUNNING
         try:
             if is_throw:

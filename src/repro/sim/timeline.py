@@ -41,6 +41,8 @@ class Span:
 class ProcessTimeline:
     """Spans for one process, built by ``mark_*`` calls as the run proceeds."""
 
+    __slots__ = ("name", "spans", "_open", "_base")
+
     def __init__(self, name: str) -> None:
         self.name = name
         self.spans: list[Span] = []

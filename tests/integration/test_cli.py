@@ -192,9 +192,9 @@ def test_run_aid_task_mode():
     assert "'Summary ...', 11" in out
 
 
-@pytest.mark.parametrize("kernel", ["heap", "wheel"])
+@pytest.mark.parametrize("kernel", ["heap", "wheel", "window"])
 def test_run_kernel_flag_identical_output(kernel):
-    """--kernel heap and --kernel wheel produce the same run, down to the
+    """--kernel heap, wheel, and window produce the same run, down to the
     printed trace (the differential-oracle property, end to end)."""
     code, out = run_cli(
         [
@@ -212,5 +212,47 @@ def test_run_kernel_flag_identical_output(kernel):
     outputs = getattr(test_run_kernel_flag_identical_output, "_outputs", {})
     outputs[kernel] = out
     test_run_kernel_flag_identical_output._outputs = outputs
-    if len(outputs) == 2:
-        assert outputs["heap"] == outputs["wheel"]
+    if len(outputs) == 3:
+        assert outputs["heap"] == outputs["wheel"] == outputs["window"]
+
+
+def test_run_profile_prints_hotspots():
+    """--profile wraps the run in cProfile and appends the cumulative
+    top-25 report without disturbing the normal output."""
+    code, out = run_cli(
+        [
+            "run",
+            FIGURE2,
+            "--spawn", "server=Server:[60]",
+            "--spawn", "worrywart=WorryWart:[60]",
+            "--spawn", "worker=Worker:[10]",
+            "--profile",
+        ]
+    )
+    assert code == 0
+    assert "'Summary ...', 11" in out
+    assert "profile (top 25 by cumulative time):" in out
+    assert "cumulative" in out
+    # the runtime's own hot path shows up in the report
+    assert "engine.py" in out
+
+
+def test_run_profile_out_writes_pstats(tmp_path):
+    import pstats
+
+    dump = tmp_path / "run.prof"
+    code, out = run_cli(
+        [
+            "run",
+            FIGURE2,
+            "--spawn", "server=Server:[60]",
+            "--spawn", "worrywart=WorryWart:[60]",
+            "--spawn", "worker=Worker:[10]",
+            "--profile",
+            "--profile-out", str(dump),
+        ]
+    )
+    assert code == 0
+    assert f"profile: wrote pstats data to {dump}" in out
+    stats = pstats.Stats(str(dump))
+    assert stats.total_calls > 0

@@ -1,9 +1,9 @@
 """Tests for the event-loop kernel.
 
-Generic behaviour is parametrized over both event-queue kernels (the
-binary heap and the hierarchical timer wheel) — they must be
-observationally identical.  Kernel-internal tests (heap compaction,
-wheel buckets) pin their kernel explicitly.
+Generic behaviour is parametrized over all three event-queue kernels
+(the binary heap, the hierarchical timer wheel, and the sorted window)
+— they must be observationally identical.  Kernel-internal tests (heap
+compaction, wheel buckets) pin their kernel explicitly.
 """
 
 import pytest
@@ -16,7 +16,7 @@ from repro.sim import (
 )
 
 
-@pytest.fixture(params=["heap", "wheel"])
+@pytest.fixture(params=["heap", "wheel", "window"])
 def sim(request):
     return Simulator(kernel=request.param)
 
