@@ -1,0 +1,99 @@
+"""CI smoke: DPOR enumeration of the standard matrix, deterministically.
+
+Sweeps :func:`repro.verify.standard_scenarios` with the DPOR explorer —
+twice — and fails if
+
+* any scenario fails to enumerate completely within ``dpor_max_schedules``
+  executions (the reduction regressed into a blow-up, or a scenario grew
+  an unbounded branch),
+* any explored execution violates an invariant, the reference oracle, or
+  the blocking-twin ledger comparison,
+* the two sweeps disagree on per-scenario schedule counts or on any
+  run's trace fingerprint — directed exploration is deterministic by
+  construction, so drift means event identity ``(label, seq)`` or
+  footprint extraction regressed,
+* fewer than ``dpor_min_scenarios`` scenarios ran, or the whole double
+  sweep exceeds ``dpor_max_wall_s``.
+
+Everything is seeded and latency is constant: a failure here is a real
+regression, never flake.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_dpor.py
+"""
+
+import json
+import os
+import sys
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def sweep(max_schedules: int) -> list:
+    from repro.verify import DporExplorer, standard_scenarios
+
+    reports = []
+    for scenario in standard_scenarios():
+        explorer = DporExplorer(
+            scenario, latency=0.5, max_schedules=max_schedules
+        )
+        reports.append(explorer.explore())
+    return reports
+
+
+def main() -> int:
+    with open(os.path.join(HERE, "overhead_threshold.json"), encoding="utf-8") as fh:
+        budget = json.load(fh)
+    min_scenarios = budget["dpor_min_scenarios"]
+    max_schedules = budget["dpor_max_schedules"]
+    max_wall = budget["dpor_max_wall_s"]
+
+    started = time.perf_counter()
+    first = sweep(max_schedules)
+    second = sweep(max_schedules)
+    wall = time.perf_counter() - started
+
+    failed = False
+    for report in first:
+        print(report.summary())
+        if not report.complete:
+            print(f"FAIL: {report.scenario} exhausted the "
+                  f"{max_schedules}-schedule budget")
+            failed = True
+        if report.failures:
+            print(f"FAIL: {report.scenario} has "
+                  f"{len(report.failures)} failing schedule(s)")
+            failed = True
+    counts_a = [(r.scenario, r.schedules) for r in first]
+    counts_b = [(r.scenario, r.schedules) for r in second]
+    if counts_a != counts_b:
+        print(f"FAIL: schedule counts drifted across sweeps:\n"
+              f"  first:  {counts_a}\n  second: {counts_b}")
+        failed = True
+    for ra, rb in zip(first, second):
+        fps_a = [run.fingerprint for run in ra.runs]
+        fps_b = [run.fingerprint for run in rb.runs]
+        if fps_a != fps_b:
+            print(f"FAIL: {ra.scenario} trace fingerprints drifted across sweeps")
+            failed = True
+    total = sum(r.schedules for r in first)
+    print(f"dpor smoke: {len(first)} scenarios, {total} schedules x2 sweeps "
+          f"in {wall:.2f}s (budget: >= {min_scenarios} scenarios, "
+          f"<= {max_wall}s)")
+    if len(first) < min_scenarios:
+        print(f"FAIL: only {len(first)} scenarios ran, budget requires "
+              f">= {min_scenarios}")
+        failed = True
+    if wall > max_wall:
+        print(f"FAIL: dpor sweep took {wall:.2f}s, budget is {max_wall}s")
+        failed = True
+    if failed:
+        return 1
+    print("dpor smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -399,7 +399,6 @@ def _write_reproducer(
         if result.plan is not None
         else (None, 0)
     )
-    os.makedirs(repro_dir, exist_ok=True)
     path = os.path.join(
         repro_dir,
         f"chaos-repro-{result.workload}-{result.plan_name}-seed{result.seed}.json",
@@ -415,6 +414,21 @@ def _write_reproducer(
             f"python -m repro.cli chaos --repro {path}"
         ),
     }
+    write_reproducer(path, payload)
+    return path
+
+
+def write_reproducer(path: str, payload: dict) -> str:
+    """Write one JSON reproducer; the shared writer for every harness.
+
+    Both the chaos matrix and the DPOR explorer (:mod:`repro.verify.dpor`)
+    emit their minimal counterexamples through this function, so
+    reproducer files share one on-disk format: a stable, sorted,
+    indented JSON object whose ``command`` field replays it.
+    """
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
     return path

@@ -280,6 +280,77 @@ def build_parser() -> argparse.ArgumentParser:
         "--failure-detector", action="store_true",
         help="also run the heartbeat failure detector in every case",
     )
+
+    verify = sub.add_parser(
+        "verify",
+        help="model-check the scenario matrix: DPOR-reduced exhaustive "
+        "interleaving enumeration (default) or randomized exploration",
+    )
+    verify.add_argument(
+        "--scenario",
+        action="append",
+        default=[],
+        metavar="SUBSTR",
+        help="only scenarios whose name contains SUBSTR (repeatable; "
+        "default: the whole standard matrix)",
+    )
+    verify.add_argument(
+        "--mode",
+        choices=["dpor", "full", "random"],
+        default="dpor",
+        help="dpor: partial-order-reduced enumeration (default); full: "
+        "every tie permutation (the reduction-soundness oracle); random: "
+        "the randomized explorer",
+    )
+    verify.add_argument("--seed", type=int, default=0, help="root random seed")
+    verify.add_argument(
+        "--latency", type=float, default=0.5, help="network latency for dpor/full"
+    )
+    verify.add_argument(
+        "--kernel",
+        choices=["wheel", "heap", "window"],
+        default="wheel",
+        help="event-queue kernel to explore under",
+    )
+    verify.add_argument(
+        "--aid-mode",
+        choices=["registry", "aid_task"],
+        default="registry",
+        help="dependency-tracking control plane",
+    )
+    verify.add_argument(
+        "--max-schedules",
+        type=int,
+        default=2000,
+        metavar="N",
+        help="per-scenario execution budget; exhausting it fails the "
+        "scenario (incomplete enumeration proves nothing)",
+    )
+    verify.add_argument(
+        "--max-events", type=int, default=200_000, help="per-run livelock guard"
+    )
+    verify.add_argument(
+        "--runs", type=int, default=50, metavar="N",
+        help="run count for --mode random",
+    )
+    verify.add_argument(
+        "--strict-orphans",
+        action="store_true",
+        help="reject quiescent states with pending AIDs nobody speculates "
+        "on (check_quiescent(allow_pending_orphans=False))",
+    )
+    verify.add_argument(
+        "--repro-dir",
+        default="verify-repros",
+        metavar="DIR",
+        help="where minimal failing choice prefixes are written",
+    )
+    verify.add_argument(
+        "--repro",
+        default=None,
+        metavar="FILE",
+        help="replay a DPOR reproducer file instead of exploring",
+    )
     return parser
 
 
@@ -438,6 +509,66 @@ def cmd_chaos(args, out) -> int:
     return 0 if not report["failures"] else 1
 
 
+def cmd_verify(args, out) -> int:
+    import os
+
+    from .verify import DporExplorer, explore, run_dpor_reproducer, standard_scenarios
+
+    if args.repro is not None:
+        run = run_dpor_reproducer(args.repro)
+        print(
+            f"reproducer {args.repro}: {run.steps} steps, "
+            f"choices={run.choices}", file=out,
+        )
+        if run.violations:
+            print(f"failure: {run.violations}", file=out)
+            return 1
+        print("reproducer no longer fails", file=out)
+        return 0
+    if args.mode == "random":
+        report = explore(
+            n_runs=args.runs,
+            root_seed=args.seed,
+            check_determinism=True,
+            aid_mode=args.aid_mode,
+            shuffle_ties=True,
+        )
+        print(report.summary(), file=out)
+        return 0 if report.ok else 1
+    scenarios = standard_scenarios()
+    if args.scenario:
+        scenarios = [
+            sc for sc in scenarios
+            if any(want in sc.name for want in args.scenario)
+        ]
+        if not scenarios:
+            print(f"error: no scenario matches {args.scenario!r}", file=out)
+            return 2
+    # Test seam: lets the integration suite plant a schedule-dependent bug
+    # and assert the whole find -> shrink -> reproduce pipeline end to end.
+    inject = os.environ.get("REPRO_VERIFY_INJECT_BUG", "") not in ("", "0")
+    exit_code = 0
+    for scenario in scenarios:
+        explorer = DporExplorer(
+            scenario,
+            seed=args.seed,
+            latency=args.latency,
+            aid_mode=args.aid_mode,
+            kernel=args.kernel,
+            prune=args.mode != "full",
+            max_schedules=args.max_schedules,
+            max_events=args.max_events,
+            allow_pending_orphans=not args.strict_orphans,
+            inject_bug=inject,
+            repro_dir=args.repro_dir,
+        )
+        report = explorer.explore()
+        print(report.summary(), file=out)
+        if not report.ok:
+            exit_code = 1
+    return exit_code
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
@@ -445,6 +576,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return cmd_check(args.path, out)
     if args.command == "chaos":
         return cmd_chaos(args, out)
+    if args.command == "verify":
+        return cmd_verify(args, out)
     return cmd_run(args, out)
 
 

@@ -347,6 +347,13 @@ class HopeSystem:
         Extra options for the parallel backend (placement overrides,
         lookahead, crash injection for tests); see
         :class:`repro.parallel.ParallelBackend`.
+    controller:
+        Optional schedule controller: an object with
+        ``choose(time, events) -> int`` consulted at every simulator pop
+        with the batch of live same-time events — externally directed
+        interleaving choice (the DPOR explorer in :mod:`repro.verify`).
+        Mutually exclusive with ``shuffle_ties``; disables same-tick
+        delivery coalescing so each delivery owns a choice point.
     """
 
     def __init__(
@@ -372,9 +379,20 @@ class HopeSystem:
         workers: Optional[int] = None,
         transport: Optional[Callable[..., Network]] = None,
         parallel_opts: Optional[dict] = None,
+        controller: Optional[Any] = None,
     ) -> None:
         self.streams = RandomStreams(seed)
-        if shuffle_ties:
+        if controller is not None:
+            if shuffle_ties:
+                raise HopeError(
+                    "shuffle_ties and controller are mutually exclusive — "
+                    "both decide same-time event order"
+                )
+            # Externally directed scheduling: at every pop the controller
+            # picks which same-time event fires (the DPOR explorer in
+            # repro.verify drives this seam; see ScheduleController).
+            self.sim = Simulator(kernel=kernel, controller=controller)
+        elif shuffle_ties:
             # Permute the order of same-virtual-time events (seeded):
             # genuinely concurrent events may fire in any order, and the
             # model checker sweeps seeds to explore those interleavings.
@@ -529,6 +547,7 @@ class HopeSystem:
                     "trace": trace,
                     "aid_mode": aid_mode,
                     "shuffle_ties": shuffle_ties,
+                    "controller": controller,
                     "fossil_collect": fossil_collect,
                     "faults": faults,
                     "reliable": reliable,

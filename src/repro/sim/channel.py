@@ -321,6 +321,7 @@ class Network:
         self._can_batch = (
             type(self)._schedule_delivery is Network._schedule_delivery
             and sim._tie_breaker is None
+            and sim._controller is None
         )
 
     def register(self, name: str) -> Mailbox:

@@ -691,6 +691,7 @@ class Simulator:
         tie_breaker: Optional[Callable[[], int]] = None,
         kernel: str = "wheel",
         wheel_resolution: float = DEFAULT_WHEEL_RESOLUTION,
+        controller: Optional[Any] = None,
     ) -> None:
         self._now: float = 0.0
         if kernel == "wheel":
@@ -719,6 +720,17 @@ class Simulator:
         #: optional per-event priority source; permutes same-time orderings
         #: (used by the schedule-exploring model checker)
         self._tie_breaker = tie_breaker
+        #: optional :class:`ScheduleController`: at every pop the batch of
+        #: live events sharing the earliest time is handed to
+        #: ``controller.choose(time, events)``, which returns the index of
+        #: the event to fire — the tie_breaker generalized from "seeded
+        #: permutation" to externally directed choice (DPOR exploration).
+        if controller is not None and tie_breaker is not None:
+            raise SimulationError(
+                "tie_breaker and controller are mutually exclusive — both "
+                "decide same-time event order"
+            )
+        self._controller = controller
 
     @property
     def _heap(self) -> list[ScheduledEvent]:
@@ -801,6 +813,7 @@ class Simulator:
         self._stopped = False
         budget = max_events
         queue = self._queue
+        controlled = self._controller is not None
         try:
             while not self._stopped:
                 event = queue.peek()
@@ -809,7 +822,10 @@ class Simulator:
                 if until is not None and event.time > until:
                     self._now = until
                     break
-                queue.pop_head()
+                if controlled:
+                    event = self._pop_controlled()
+                else:
+                    queue.pop_head()
                 self._live -= 1
                 event.sim = None  # detach: a late cancel() must not re-decrement
                 self._now = event.time
@@ -828,13 +844,48 @@ class Simulator:
             self._now = until
         return self._now
 
+    def _pop_controlled(self) -> ScheduledEvent:
+        """Pop the next event under the schedule controller.
+
+        Collects every live event sharing the earliest virtual time (in
+        canonical ``(time, priority, seq)`` order — identical across all
+        three kernels), asks the controller which one fires, and re-queues
+        the rest.  The unchosen events go back *before* the chosen one
+        executes, so a callback that cancels one of them finds it in the
+        queue as usual.  The caller must have peeked a live head first.
+        """
+        queue = self._queue
+        batch = [queue.pop_head()]
+        time = batch[0].time
+        while True:
+            nxt = queue.peek()
+            if nxt is None or nxt.time != time:
+                break
+            batch.append(queue.pop_head())
+        # Singleton batches are forced, but the controller is still
+        # consulted: exploration drivers track per-step footprints and
+        # co-enabled sets, which must cover forced steps too.
+        index = self._controller.choose(time, batch)
+        if not 0 <= index < len(batch):
+            raise SimulationError(
+                f"controller chose index {index} out of a batch of "
+                f"{len(batch)} events at t={time:.6g}"
+            )
+        chosen = batch.pop(index)
+        for event in batch:
+            queue.push(event)
+        return chosen
+
     def step(self) -> bool:
         """Execute exactly one pending event.  Returns False when idle."""
         queue = self._queue
         event = queue.peek()
         if event is None:
             return False
-        queue.pop_head()
+        if self._controller is not None:
+            event = self._pop_controlled()
+        else:
+            queue.pop_head()
         self._live -= 1
         event.sim = None  # detach: a late cancel() must not re-decrement
         self._now = event.time

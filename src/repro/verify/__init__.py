@@ -1,12 +1,26 @@
-"""Verification harness: invariants, scenarios, randomized model checking.
+"""Verification harness: invariants, scenarios, randomized + exhaustive model checking.
 
 The paper proves its theorems over the abstract machine; this package
-checks the same properties hold *system-wide* over randomized executions
-of real HOPE programs, plus the observable-equivalence oracle the paper
-implies but never states: what an optimistic program commits equals what
-its pessimistic counterpart would print.
+checks the same properties hold *system-wide* over real HOPE programs,
+plus the observable-equivalence oracle the paper implies but never
+states: what an optimistic program commits equals what its pessimistic
+counterpart would print.  Two drivers share the scenario/oracle stack:
+
+* :mod:`repro.verify.explorer` — randomized schedule sampling (latency
+  draws plus seeded tie shuffles);
+* :mod:`repro.verify.dpor` — exhaustive enumeration of inequivalent
+  interleavings via dynamic partial-order reduction with sleep sets,
+  driven through the simulator's controller seam
+  (:mod:`repro.verify.schedule`).
 """
 
+from .dpor import (
+    DporExplorer,
+    DporReport,
+    DporRun,
+    run_dpor_reproducer,
+    standard_scenarios,
+)
 from .explorer import ExplorationReport, RunOutcome, explore, run_scenario
 from .invariants import (
     DefiniteSafetyMonitor,
@@ -16,12 +30,22 @@ from .invariants import (
     check_quiescent,
 )
 from .programs import (
+    FACTORIES,
     Scenario,
     chain_scenario,
     diamond_scenario,
     free_of_scenario,
+    orphan_scenario,
     random_scenario,
+    scenario_from_spec,
     two_aid_scenario,
+)
+from .schedule import (
+    DirectedFaultyNetwork,
+    RecordingController,
+    ReplayDivergence,
+    ScheduleController,
+    StepRecord,
 )
 
 __all__ = [
@@ -29,15 +53,28 @@ __all__ = [
     "run_scenario",
     "ExplorationReport",
     "RunOutcome",
+    "DporExplorer",
+    "DporReport",
+    "DporRun",
+    "run_dpor_reproducer",
+    "standard_scenarios",
     "Scenario",
     "chain_scenario",
     "two_aid_scenario",
     "diamond_scenario",
     "free_of_scenario",
+    "orphan_scenario",
     "random_scenario",
+    "scenario_from_spec",
+    "FACTORIES",
     "InvariantViolation",
     "LedgerMonitor",
     "DefiniteSafetyMonitor",
     "attach_monitors",
     "check_quiescent",
+    "ScheduleController",
+    "RecordingController",
+    "StepRecord",
+    "ReplayDivergence",
+    "DirectedFaultyNetwork",
 ]

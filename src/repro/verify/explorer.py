@@ -66,6 +66,9 @@ class ExplorationReport:
         ]
         for run in self.failures[:10]:
             lines.append(f"  FAIL {run.scenario} seed={run.seed}: {run.violations}")
+        extra = len(self.failures) - 10
+        if extra > 0:
+            lines.append(f"  (+{extra} more failures)")
         return "\n".join(lines)
 
 
@@ -156,9 +159,14 @@ def explore(
     for index in range(n_runs):
         scenario = random_scenario(picker)
         latency = picker.uniform(0.0, 5.0)
+        # Per-run seeds come from the seeded stream, not arithmetic on
+        # root_seed: ``root_seed * 10_007 + index`` collides across
+        # campaigns (root r at index i equals root r+1 at i-10_007, so
+        # any campaign longer than 10_007 runs replays its neighbor's
+        # seeds) instead of widening coverage.
         outcome = run_scenario(
             scenario,
-            seed=root_seed * 10_007 + index,
+            seed=picker.randint(0, 2**31 - 1),
             latency=latency,
             check_determinism=check_determinism,
             aid_mode=aid_mode,

@@ -9,8 +9,8 @@ the reference.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
 
 from ..runtime import HopeSystem
 from ..sim import TIMED_OUT, RandomStream
@@ -26,12 +26,17 @@ class Scenario:
     additionally runs the program with ``speculation=False`` and requires
     the identical committed ledger — the strongest oracle available,
     because it executes the *same program text* pessimistically.
+
+    ``spec`` is the JSON-serializable recipe that rebuilt this scenario
+    (``{"factory": name, "kwargs": {...}}``) — what DPOR reproducer files
+    store so :func:`scenario_from_spec` can reconstruct the workload.
     """
 
     name: str
     build: object          # Callable[[HopeSystem], None]
     reference: dict        # process name -> expected committed outputs
     blocking_oracle: bool = False
+    spec: Optional[dict] = field(default=None, compare=False)
 
     def expected(self, process: str) -> list:
         return self.reference.get(process, [])
@@ -86,6 +91,10 @@ def chain_scenario(depth: int, decide: bool, verify_delay: float) -> Scenario:
         build,
         reference,
         blocking_oracle=True,
+        spec={
+            "factory": "chain",
+            "kwargs": {"depth": depth, "decide": decide, "verify_delay": verify_delay},
+        },
     )
 
 
@@ -130,6 +139,12 @@ def two_aid_scenario(decide_x: bool, decide_y: bool, dx: float, dy: float) -> Sc
         build,
         reference,
         blocking_oracle=True,
+        spec={
+            "factory": "two_aid",
+            "kwargs": {
+                "decide_x": decide_x, "decide_y": decide_y, "dx": dx, "dy": dy,
+            },
+        },
     )
 
 
@@ -187,7 +202,12 @@ def free_of_scenario(violate: bool) -> Scenario:
     else:
         # free_of affirms x: the speculative write commits.
         reference = {"writer": ["spec-write"], "checker": ["checked"]}
-    return Scenario(f"free_of(violate={violate})", build, reference)
+    return Scenario(
+        f"free_of(violate={violate})",
+        build,
+        reference,
+        spec={"factory": "free_of", "kwargs": {"violate": violate}},
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -241,7 +261,53 @@ def diamond_scenario(decide: bool, verify_delay: float) -> Scenario:
     else:
         reference = {"source": ["source-pessimistic"], "sink": []}
     return Scenario(
-        f"diamond(decide={decide})", build, reference, blocking_oracle=True
+        f"diamond(decide={decide})",
+        build,
+        reference,
+        blocking_oracle=True,
+        spec={
+            "factory": "diamond",
+            "kwargs": {"decide": decide, "verify_delay": verify_delay},
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# scenario: an assumption nobody ever resolves
+# ---------------------------------------------------------------------------
+def orphan_scenario(resolve: bool) -> Scenario:
+    """A worker initializes an AID and (maybe) never has it resolved.
+
+    Nobody guesses on the AID, so the run quiesces cleanly either way —
+    but with ``resolve=False`` the AID is left *pending with no
+    speculative affirmer*, which the strict quiescence check
+    (``check_quiescent(..., allow_pending_orphans=False)``) rejects:
+    an orphaned assumption is usually a program that forgot a judge.
+    """
+
+    def build(system: HopeSystem) -> None:
+        def worker(p):
+            x = yield p.aid_init("x")
+            if resolve:
+                yield p.send("judge", x)
+            yield p.emit("done")
+
+        def judge(p):
+            msg = yield p.recv()
+            yield p.compute(0.25)
+            yield p.affirm(msg.payload)
+
+        system.spawn("worker", worker)
+        if resolve:
+            system.spawn("judge", judge)
+
+    reference = {"worker": ["done"]}
+    return Scenario(
+        f"orphan(resolve={resolve})",
+        build,
+        reference,
+        blocking_oracle=False,
+        spec={"factory": "orphan", "kwargs": {"resolve": resolve}},
     )
 
 
@@ -278,3 +344,22 @@ ALL_FACTORIES: Sequence = (
     diamond_scenario,
     free_of_scenario,
 )
+
+#: Factory registry keyed by the ``spec["factory"]`` names reproducer
+#: files store (see :func:`scenario_from_spec`).
+FACTORIES: dict = {
+    "chain": chain_scenario,
+    "two_aid": two_aid_scenario,
+    "diamond": diamond_scenario,
+    "free_of": free_of_scenario,
+    "orphan": orphan_scenario,
+}
+
+
+def scenario_from_spec(spec: dict) -> Scenario:
+    """Rebuild a scenario from its serialized ``Scenario.spec`` recipe."""
+    try:
+        factory = FACTORIES[spec["factory"]]
+    except KeyError:
+        raise ValueError(f"unknown scenario factory {spec.get('factory')!r}")
+    return factory(**spec.get("kwargs", {}))

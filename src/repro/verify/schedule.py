@@ -1,0 +1,356 @@
+"""Directed scheduling: the controller seam the DPOR explorer drives.
+
+The simulator's ``controller`` hook (see
+:class:`repro.sim.kernel.Simulator`) generalizes ``shuffle_ties`` from
+"seeded permutation" to *externally directed choice*: at every pop the
+batch of live events sharing the earliest virtual time is handed to the
+controller, which picks the one that fires.  This module provides
+
+* :class:`ScheduleController` — the protocol (a trivial leftmost-choice
+  base class);
+* :class:`RecordingController` — replays a prescribed choice prefix,
+  falls back to canonical defaults beyond it, and records every step
+  (batch composition, chosen index, and the *footprint* of resources the
+  chosen event's execution touched, extracted from the trace stream) —
+  everything the DFS driver in :mod:`repro.verify.dpor` needs to compute
+  happens-before backtracking points and sleep sets;
+* :class:`DirectedFaultyNetwork` — a transport that turns a chaos-harness
+  :class:`~repro.sim.faults.FaultPlan`'s probabilistic drop/reorder draws
+  into explicit binary choice points on the same controller, so fault
+  fates are explored exhaustively instead of sampled.
+
+Event identity across executions: a batch member is keyed by
+``(label, seq)``.  Sequence numbers are a deterministic function of the
+executed prefix, so two executions sharing a choice prefix assign
+identical keys to the events enabled at the divergence point — which is
+what lets backtrack sets and sleep sets refer to events of sibling
+executions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..sim import Tracer
+from ..sim.channel import Mailbox, Message, Network
+from ..sim.faults import FaultPlan, FaultStats
+from ..sim.kernel import ScheduledEvent, SimulationError, Simulator
+from ..sim.latency import LatencyModel
+
+
+class ScheduleController:
+    """Protocol for the simulator's directed-choice seam.
+
+    ``choose(time, events)`` is called at every pop with the canonical
+    ``(time, priority, seq)``-ordered batch of live events at the
+    earliest virtual time and returns the index of the event to fire.
+    Singleton batches are consulted too (the choice is forced, but
+    exploration drivers still need the step in their records).
+
+    ``choose_fate(kind, link, options)`` is the same seam for
+    non-scheduler choice points (fault fates); the base network never
+    calls it.
+    """
+
+    def choose(self, time: float, events: Sequence[ScheduledEvent]) -> int:
+        return 0
+
+    def choose_fate(self, kind: str, link: str, options: int = 2) -> int:
+        return 0
+
+
+class ReplayDivergence(SimulationError):
+    """A prescribed choice prefix stopped matching the execution.
+
+    Replaying a choice sequence over a deterministic program must
+    reproduce the same batches; this firing means either the program is
+    nondeterministic (a genuine bug) or the prescription came from a
+    different scenario/seed.
+    """
+
+
+class StepRecord:
+    """One executed choice point: what was enabled and what was picked.
+
+    ``kind`` is ``"tie"`` for simulator batches, ``"fate"`` for fault
+    decisions.  ``keys`` are the stable identities of the alternatives
+    (``(label, seq)`` tuples for ties; a synthetic string for fates).
+    ``footprint`` is the set of resources (process names and AID keys)
+    the chosen event's execution touched — filled in when the *next*
+    choice point closes the step; fate steps get a static footprint.
+    """
+
+    __slots__ = ("index", "kind", "time", "keys", "chosen", "footprint")
+
+    def __init__(self, index, kind, time, keys, chosen):
+        self.index = index
+        self.kind = kind
+        self.time = time
+        self.keys = keys
+        self.chosen = chosen
+        self.footprint: frozenset = frozenset()
+
+    @property
+    def options(self) -> int:
+        return len(self.keys)
+
+    @property
+    def chosen_key(self):
+        return self.keys[self.chosen]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Step {self.index} {self.kind} t={self.time:g} "
+            f"chose {self.chosen}/{len(self.keys)} {self.keys[self.chosen]!r}>"
+        )
+
+
+def event_key(event: ScheduledEvent) -> tuple:
+    """Stable identity of a scheduled event within a choice-prefix class."""
+    return (event.label, event.seq)
+
+
+def label_target(label: str) -> Optional[str]:
+    """The process a sim event's label names (best-effort footprint floor).
+
+    Labels follow ``kind:target`` (``start:worker``, ``compute:judge-x``,
+    ``timeout:p``) with deliveries as ``deliver:src->dst`` — delivery
+    executes against the *destination's* mailbox.
+    """
+    if ":" not in label:
+        return None
+    target = label.split(":", 1)[1]
+    if "->" in target:
+        target = target.split("->", 1)[1]
+    return target or None
+
+
+class RecordingController(ScheduleController):
+    """Replays a choice prefix, extends it with defaults, records steps.
+
+    Parameters
+    ----------
+    prescribed:
+        Choice indices for the first ``len(prescribed)`` steps (ties and
+        fates in one unified sequence).  Beyond the prefix the controller
+        picks the canonical default: the lowest index whose key is not in
+        the live sleep set.
+    tracer:
+        The system's :class:`~repro.sim.Tracer`; the slice of records
+        appended between two consecutive tie steps is the earlier step's
+        footprint (each record contributes its process name and, when
+        present, its AID key).
+    initial_sleep:
+        Sleep set in force at the divergence point (keys of sibling
+        choices already fully explored).  From the divergence step on it
+        is filtered per Godefroid's rule: a sleeping event is woken (and
+        must be re-explored) as soon as a dependent event executes.
+    known_footprints:
+        Footprints observed in earlier executions, keyed by event key —
+        the independence oracle for sleep filtering.  A sleeping event
+        with no known footprint is conservatively treated as dependent
+        (woken immediately), costing pruning but never soundness.
+    """
+
+    def __init__(
+        self,
+        prescribed: Sequence[int] = (),
+        tracer: Optional[Tracer] = None,
+        initial_sleep: frozenset = frozenset(),
+        known_footprints: Optional[dict] = None,
+    ) -> None:
+        self.prescribed = list(prescribed)
+        self.tracer = tracer
+        self.records: list[StepRecord] = []
+        self.known = known_footprints if known_footprints is not None else {}
+        self._sleep = set(initial_sleep)
+        self.sleep_blocked = False
+        self._mark = 0
+        self._open_tie: Optional[StepRecord] = None
+
+    # ------------------------------------------------------------------
+    # the seam
+    # ------------------------------------------------------------------
+    def choose(self, time: float, events: Sequence[ScheduledEvent]) -> int:
+        self._close_open_tie()
+        step = len(self.records)
+        keys = tuple(event_key(e) for e in events)
+        if step < len(self.prescribed):
+            chosen = self.prescribed[step]
+            if not 0 <= chosen < len(events):
+                raise ReplayDivergence(
+                    f"prescribed choice {chosen} at step {step} does not fit "
+                    f"the batch of {len(events)} events at t={time:.6g}"
+                )
+        else:
+            chosen = self._default_choice(keys)
+        record = StepRecord(step, "tie", time, keys, chosen)
+        self.records.append(record)
+        self._open_tie = record
+        if self.tracer is not None:
+            self._mark = len(self.tracer.records)
+        return chosen
+
+    def choose_fate(self, kind: str, link: str, options: int = 2) -> int:
+        step = len(self.records)
+        # Fate identity: the n-th fate decision of this kind on this link.
+        count = sum(
+            1
+            for r in self.records
+            if r.kind == "fate" and r.keys[0][0].startswith(f"{kind}:{link}#")
+        )
+        key_base = f"{kind}:{link}#{count}"
+        keys = tuple((f"{key_base}", option) for option in range(options))
+        if step < len(self.prescribed):
+            chosen = self.prescribed[step]
+            if not 0 <= chosen < options:
+                raise ReplayDivergence(
+                    f"prescribed fate {chosen} at step {step} does not fit "
+                    f"{options} options for {key_base}"
+                )
+        else:
+            chosen = 0
+        record = StepRecord(step, "fate", -1.0, keys, chosen)
+        # A fate decides one message's delivery: its footprint is the link
+        # target (static — fate steps always branch fully in the driver).
+        target = label_target(f"fate:{link}")
+        record.footprint = frozenset((target,)) if target else frozenset()
+        self.records.append(record)
+        return chosen
+
+    def finish(self) -> None:
+        """Close the final step's footprint after the run completes."""
+        self._close_open_tie()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _default_choice(self, keys: tuple) -> int:
+        if not self._sleep:
+            return 0
+        for index, key in enumerate(keys):
+            if key not in self._sleep:
+                return index
+        # Every enabled event is asleep: this continuation is provably
+        # redundant.  Finishing it anyway (leftmost choice) keeps the
+        # driver simple; the run is flagged so reports can count it.
+        self.sleep_blocked = True
+        return 0
+
+    def _close_open_tie(self) -> None:
+        record = self._open_tie
+        if record is None:
+            return
+        self._open_tie = None
+        footprint = set()
+        label, _seq = record.chosen_key
+        target = label_target(label)
+        if target is not None:
+            footprint.add(target)
+        if self.tracer is not None:
+            for rec in self.tracer.records[self._mark:]:
+                footprint.add(rec.process)
+                aid = rec.detail.get("aid")
+                if aid:
+                    footprint.add(aid)
+        record.footprint = frozenset(footprint)
+        key = record.chosen_key
+        previous = self.known.get(key)
+        self.known[key] = (
+            record.footprint if previous is None else previous | record.footprint
+        )
+        self._filter_sleep(record.footprint)
+
+    def _filter_sleep(self, footprint: frozenset) -> None:
+        if not self._sleep:
+            return
+        # Wake (drop from the sleep set) everything dependent on what just
+        # executed; unknown footprints count as dependent (conservative).
+        awake = [
+            key
+            for key in self._sleep
+            if self.known.get(key) is None or not self.known[key].isdisjoint(footprint)
+        ]
+        for key in awake:
+            self._sleep.discard(key)
+
+
+class DirectedFaultyNetwork(Network):
+    """A transport whose fault fates are controller choice points.
+
+    Takes the drop/reorder parameters of a chaos-harness
+    :class:`~repro.sim.faults.FaultPlan` as *possibility* markers: on a
+    link with ``drop > 0`` every delivery asks the controller
+    "deliver or drop?" (index 1 = drop), and with ``reorder > 0``
+    "on time or late?" (index 1 = adds the full ``reorder_window``).
+    Probabilities themselves are ignored — exploration enumerates fates,
+    it does not sample them.  ``max_drops`` bounds the number of dropped
+    messages per execution so the always-drop branch of a retrying
+    (reliable) sender cannot produce an infinite tree.
+
+    Duplication and jitter draw from continuous spaces that have no
+    finite choice-point analog; plans using them are rejected.  Timed
+    partitions are deterministic and applied as-is.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel],
+        plan: FaultPlan,
+        controller: ScheduleController,
+        max_drops: int = 1,
+    ) -> None:
+        super().__init__(sim, latency)
+        for faults in [plan.default, *plan.links.values()]:
+            if faults.duplicate > 0.0 or faults.jitter > 0.0:
+                raise SimulationError(
+                    "DirectedFaultyNetwork explores drop/reorder fates only; "
+                    "duplicate/jitter have no finite choice-point analog"
+                )
+        self.plan = plan
+        self.controller = controller
+        self.max_drops = max_drops
+        self.fault_stats = FaultStats()
+
+    def _schedule_delivery(
+        self, box: Mailbox, message: Message, delay: float
+    ) -> Optional[ScheduledEvent]:
+        plan = self.plan
+        stats = self.fault_stats
+        if plan.partitioned(message.src, message.dst, self.sim.now):
+            stats.partition_dropped += 1
+            return None
+        faults = plan.for_link(message.src, message.dst)
+        link = f"{message.src}->{message.dst}"
+        if faults.drop > 0.0 and stats.dropped < self.max_drops:
+            if self.controller.choose_fate("drop", link) == 1:
+                stats.dropped += 1
+                return None
+        if faults.reorder > 0.0:
+            if self.controller.choose_fate("reorder", link) == 1:
+                delay += faults.reorder_window
+                stats.reordered += 1
+        return super()._schedule_delivery(box, message, delay)
+
+    def stats_entries(self) -> dict:
+        return {"faults": self.fault_stats.as_dict()}
+
+    def observe_gauges(self, spec) -> None:
+        stats = self.fault_stats
+        spec.net_dropped.set(stats.dropped)
+        spec.net_reordered.set(stats.reordered)
+        spec.net_partition_dropped.set(stats.partition_dropped)
+
+    def control_fate(self, src: str, dst: str) -> tuple[bool, float]:
+        """Ack-style datagrams are never fate choice points: the reliable
+        layer's retry timers already bound their effect, and branching on
+        every ack would square the tree for no new interleavings of the
+        *message* order the explorer cares about."""
+        if self.plan.partitioned(src, dst, self.sim.now):
+            self.fault_stats.acks_dropped += 1
+            return (True, 0.0)
+        return (False, self.latency.sample(src, dst))
+
+    def heartbeat_lost(self, src: str) -> bool:
+        return self.plan.isolated(src, self.sim.now)

@@ -93,3 +93,58 @@ def test_diamond_second_tag_folds_into_existing_interval():
     system.run(until=20.0)                   # both arrivals, verdict pending
     record = system.machine.process("sink")
     assert len(record.intervals) == 1
+
+
+def test_per_run_seeds_disjoint_across_root_seeds():
+    """Campaign seeds come from the seeded stream, so different root
+    seeds explore different (seed, scenario) pairs instead of partially
+    replaying each other (the old ``root * 10_007 + index`` arithmetic
+    collided across campaigns)."""
+    campaigns = {root: explore(n_runs=20, root_seed=root) for root in (0, 1, 2)}
+    seed_sets = {
+        root: {run.seed for run in report.runs}
+        for root, report in campaigns.items()
+    }
+    for a in seed_sets:
+        for b in seed_sets:
+            if a < b:
+                assert not (seed_sets[a] & seed_sets[b]), (a, b)
+
+
+def test_per_run_seeds_reproducible_for_equal_root_seed():
+    first = explore(n_runs=15, root_seed=9)
+    second = explore(n_runs=15, root_seed=9)
+    assert [r.seed for r in first.runs] == [r.seed for r in second.runs]
+    assert [r.fingerprint for r in first.runs] == [
+        r.fingerprint for r in second.runs
+    ]
+
+
+def test_summary_marks_failures_beyond_the_first_ten():
+    from repro.verify import ExplorationReport, RunOutcome
+
+    report = ExplorationReport()
+    for index in range(13):
+        report.runs.append(
+            RunOutcome(
+                scenario=f"s{index}", seed=index, latency=1.0,
+                violations=["boom"],
+            )
+        )
+    summary = report.summary()
+    assert summary.count("FAIL") == 10
+    assert "(+3 more failures)" in summary
+
+
+def test_summary_no_marker_at_ten_or_fewer_failures():
+    from repro.verify import ExplorationReport, RunOutcome
+
+    report = ExplorationReport()
+    for index in range(10):
+        report.runs.append(
+            RunOutcome(
+                scenario=f"s{index}", seed=index, latency=1.0,
+                violations=["boom"],
+            )
+        )
+    assert "more failures" not in report.summary()
