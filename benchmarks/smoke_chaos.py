@@ -38,23 +38,35 @@ def main() -> int:
     seeds = budget["chaos_seeds"]
     min_cases = budget["chaos_min_cases"]
     max_wall = budget["chaos_max_wall_s"]
-    started = time.perf_counter()
-    with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as tmp:
-        report = run_matrix(seeds=seeds, repro_dir=tmp)
-        wall = time.perf_counter() - started
-        print(format_report(report))
-        print(f"chaos smoke: {report['total']} cases in {wall:.2f}s "
-              f"(budget: >= {min_cases} cases, <= {max_wall}s)")
-        if report["total"] < min_cases:
-            print(f"FAIL: only {report['total']} cases ran, budget requires "
-                  f">= {min_cases}")
-            return 1
-        if report["failures"]:
-            print(f"FAIL: {len(report['failures'])} chaos case(s) failed")
-            return 1
-        if wall > max_wall:
-            print(f"FAIL: chaos matrix took {wall:.2f}s, budget is {max_wall}s")
-            return 1
+    # Case outcomes are deterministic — any failure fails immediately.
+    # The wall bound measures the box as much as the code, so it is
+    # judged best-of-attempts like the TRACK check in smoke_overhead.py:
+    # a real complexity regression is slow on every attempt, one
+    # contended CI moment is not.
+    best_wall = None
+    for attempt in range(budget.get("attempts", 3)):
+        started = time.perf_counter()
+        with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as tmp:
+            report = run_matrix(seeds=seeds, repro_dir=tmp)
+            wall = time.perf_counter() - started
+            if attempt == 0:
+                print(format_report(report))
+            print(f"chaos smoke attempt {attempt + 1}: {report['total']} cases "
+                  f"in {wall:.2f}s (budget: >= {min_cases} cases, <= {max_wall}s)")
+            if report["total"] < min_cases:
+                print(f"FAIL: only {report['total']} cases ran, budget requires "
+                      f">= {min_cases}")
+                return 1
+            if report["failures"]:
+                print(f"FAIL: {len(report['failures'])} chaos case(s) failed")
+                return 1
+        best_wall = wall if best_wall is None else min(best_wall, wall)
+        if best_wall <= max_wall:
+            break
+    if best_wall is None or best_wall > max_wall:
+        print(f"FAIL: chaos matrix took {best_wall:.2f}s best-of-attempts, "
+              f"budget is {max_wall}s")
+        return 1
     print("chaos smoke OK")
     return 0
 

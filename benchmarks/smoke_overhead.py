@@ -68,21 +68,31 @@ def _check_memory(budget: dict) -> int:
     the budget immediately.
     """
     fossil = _load_bench("bench_fossil_steady")
-    result = fossil.run_horizon(True, events_total=budget["fossil_events"])
-    peak = result["peak_rss_delta_kib"]
     limit = budget["max_fossil_rss_delta_kib"]
-    stats = result["stats"]
-    print(
-        f"fossil steady-state {budget['fossil_events']} events: "
-        f"peak RSS delta {peak} KiB (budget {limit}), "
-        f"{stats['fossil_collections']} collections, "
-        f"{stats['fossil_log_dropped']} log entries dropped"
-    )
-    if peak > limit:
-        print(f"FAIL: fossil-collected peak RSS delta {peak} KiB exceeds budget {limit}")
-        return 1
-    if not stats["fossil_collections"] or not stats["fossil_log_dropped"]:
-        print("FAIL: fossil collection never reclaimed anything")
+    # RSS growth is allocator- and box-dependent; best-of-attempts like
+    # the TRACK check, so one noisy allocation spike cannot fail the
+    # build while a real pin leak blows the budget on every attempt.
+    best = None
+    for attempt in range(budget.get("attempts", 3)):
+        result = fossil.run_horizon(True, events_total=budget["fossil_events"])
+        peak = result["peak_rss_delta_kib"]
+        stats = result["stats"]
+        print(
+            f"fossil steady-state {budget['fossil_events']} events "
+            f"(attempt {attempt + 1}): "
+            f"peak RSS delta {peak} KiB (budget {limit}), "
+            f"{stats['fossil_collections']} collections, "
+            f"{stats['fossil_log_dropped']} log entries dropped"
+        )
+        if not stats["fossil_collections"] or not stats["fossil_log_dropped"]:
+            print("FAIL: fossil collection never reclaimed anything")
+            return 1
+        best = peak if best is None else min(best, peak)
+        if best <= limit:
+            break
+    if best is None or best > limit:
+        print(f"FAIL: fossil-collected peak RSS delta {best} KiB "
+              f"best-of-attempts exceeds budget {limit}")
         return 1
     return 0
 

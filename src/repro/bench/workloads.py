@@ -190,6 +190,58 @@ def build_chaos_ring(system, nodes: int = 4, laps: int = 2) -> None:
     system.spawn("driver", chaos_ring_driver, names[0], total)
 
 
+def counter_worker(p, judge: str, rounds: int, resume=None):
+    """Commit-point worker for the durable kill/resume workload.
+
+    Deterministic end to end (the judge's verdict is a pure function of
+    the round index, and no ``p.random()`` is drawn), so the committed
+    outputs are independent of crash timing — the property the durable
+    twin check relies on.  ``resume=`` receives the last ``commit_point``
+    state after a fossil rebase, exactly like the fossil-runtime tests.
+    """
+    state = resume if resume is not None else {"round": 0, "acc": 0}
+    while state["round"] < rounds:
+        i = state["round"]
+        a = yield p.aid_init(f"{p.name}-c{i}")
+        yield p.send(judge, (a, p.name, i))
+        if (yield p.guess(a)):
+            yield p.compute(1.0)
+            state["acc"] += 3
+        else:
+            yield p.compute(2.0)
+            state["acc"] -= 1
+        yield p.emit((p.name, i, state["acc"]))
+        state["round"] += 1
+        yield p.commit_point(dict(state))
+    return state["acc"]
+
+
+def counter_judge(p, total: int, resume=None):
+    """Affirms/denies each counter round by the deterministic predicate,
+    snapshotting its own progress at every commit point."""
+    state = resume if resume is not None else {"seen": 0}
+    while state["seen"] < total:
+        msg = yield p.recv()
+        a, name, i = msg.payload
+        yield p.compute(0.3)
+        if chaos_deny_predicate(name, i):
+            yield p.deny(a)
+        else:
+            yield p.affirm(a)
+        state["seen"] += 1
+        yield p.emit(("judged", name, i))
+        yield p.commit_point(dict(state))
+    return state["seen"]
+
+
+def build_durable_counter(system, workers: int = 2, rounds: int = 4) -> None:
+    """Commit-point counters judged centrally: the durable subsystem's
+    reference workload (base-aware snapshots, fossil-trimmed WALs)."""
+    system.spawn("judge", counter_judge, workers * rounds)
+    for w in range(workers):
+        system.spawn(f"c{w}", counter_worker, "judge", rounds)
+
+
 def build_fanout(system, pairs: int = 4, rounds: int = 3) -> None:
     """Fan-out: ``pairs`` independent worker/validator couples.
 

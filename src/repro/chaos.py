@@ -28,9 +28,11 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
+import tempfile
 from typing import Any, Callable, Iterable, Optional
 
-from .bench.workloads import build_chaos_mesh, build_chaos_ring
+from .bench.workloads import build_chaos_mesh, build_chaos_ring, build_durable_counter
 from .runtime import DetectorConfig, HopeSystem, ReliableConfig
 from .sim import ConstantLatency, EventLimitExceeded, FaultPlan, LinkFaults, Partition, Tracer
 from .verify.invariants import InvariantViolation, attach_monitors, check_quiescent
@@ -71,10 +73,36 @@ WORKLOADS: dict[str, ChaosWorkload] = {
     ),
 }
 
+#: Workloads for the kill/resume (host-crash) mode: the standard chaos
+#: pair plus the commit-point counter, all deterministic in their
+#: committed outputs so the resumed run must reconverge byte-identically.
+KILL_RESUME_WORKLOADS: dict[str, ChaosWorkload] = {
+    "mesh": WORKLOADS["mesh"],
+    "ring": WORKLOADS["ring"],
+    "counter": ChaosWorkload(
+        "counter",
+        build_durable_counter,
+        max_events=200_000,
+        description="commit-point counters judged centrally — exercises "
+        "base-aware snapshots and fossil-trimmed WALs",
+    ),
+}
+
 #: Endpoint groups per workload, used to aim partitions at real links.
 _PARTITION_SIDES = {
     "mesh": (("w0", "w1"), ("validator", "w2")),
     "ring": (("n0", "n1"), ("n2", "n3", "driver")),
+}
+
+#: One-line descriptions of the standard fault plans (``--list-plans``).
+PLAN_DESCRIPTIONS: dict[str, str] = {
+    "drop-light": "10% uniform message drop on every link",
+    "drop-heavy": "25% uniform message drop on every link",
+    "dup": "25% duplicate delivery per message",
+    "reorder": "35% of messages reordered within a 6s window",
+    "jitter": "up to 4s uniform extra latency per message",
+    "storm": "drop + duplicate + reorder + jitter combined",
+    "partition": "two-sided partition from t=5 to t=25 over 5% background drop",
 }
 
 
@@ -228,6 +256,293 @@ def run_case(
         final_time,
         system.stats(),
     )
+
+
+# ---------------------------------------------------------------------------
+# kill/resume (host-crash) mode — repro.durable's chaos harness
+# ---------------------------------------------------------------------------
+
+#: Durable options for chaos runs: snapshot on every fossil pass so even
+#: early kill points have sealed state to recover.
+_KILL_DURABLE_OPTS = {"snapshot_every": 1}
+_KILL_FOSSIL_INTERVAL = 4
+#: Default seeded crash points, as fractions of the twin's event count.
+KILL_FRACS = (0.25, 0.55, 0.85)
+#: Child exit codes: the kill landed as planned / the child errored.
+_KILLED_OK = 37
+_CHILD_ERROR = 41
+
+
+class KillResumeResult:
+    """Outcome of one host-crash case: kill at a seeded point, resume,
+    compare committed state against the uninterrupted twin."""
+
+    __slots__ = ("workload", "seed", "kill_events", "frac", "corrupt",
+                 "corrupted_path", "failure", "durable_stats", "run_dir")
+
+    def __init__(self, workload, seed, kill_events, frac, corrupt,
+                 corrupted_path, failure, durable_stats, run_dir) -> None:
+        self.workload = workload
+        self.seed = seed
+        self.kill_events = kill_events
+        self.frac = frac
+        self.corrupt = corrupt
+        self.corrupted_path = corrupted_path
+        self.failure = failure
+        self.durable_stats = durable_stats
+        self.run_dir = run_dir
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    def __repr__(self) -> str:
+        verdict = "ok" if self.ok else f"FAIL({self.failure})"
+        extra = f" corrupt={self.corrupt}" if self.corrupt else ""
+        return (
+            f"<KillResume {self.workload} seed={self.seed} "
+            f"kill@{self.kill_events}{extra}: {verdict}>"
+        )
+
+
+def _durable_system(workload: ChaosWorkload, seed: int, run_dir: str,
+                    kernel: str, durable_opts: dict) -> HopeSystem:
+    system = HopeSystem(
+        seed=seed,
+        latency=ConstantLatency(1.0),
+        kernel=kernel,
+        fossil_collect=True,
+        fossil_interval=_KILL_FOSSIL_INTERVAL,
+        durable_dir=run_dir,
+        durable_opts=dict(durable_opts),
+    )
+    workload.build(system)
+    return system
+
+
+def _run_child_until_kill(workload: ChaosWorkload, seed: int, run_dir: str,
+                          kill_events: int, kernel: str,
+                          durable_opts: dict) -> None:
+    system = _durable_system(workload, seed, run_dir, kernel, durable_opts)
+    try:
+        system.run(max_events=kill_events)
+    except EventLimitExceeded:
+        # This *is* the crash point: die without any orderly shutdown —
+        # no durable sync, no flush beyond the last sealed batch.
+        pass
+
+
+def run_kill_resume_case(
+    workload,
+    seed: int,
+    kill_frac: float = 0.5,
+    *,
+    kill_events: Optional[int] = None,
+    corrupt: Optional[str] = None,
+    kernel: str = "wheel",
+    run_dir: Optional[str] = None,
+    keep_dir: bool = False,
+    in_process: bool = False,
+) -> KillResumeResult:
+    """One host-crash chaos case.
+
+    Runs the workload durably in a child process killed (``os._exit``,
+    no cleanup) once ``kill_events`` simulator events have fired, then
+    resumes from the run directory and requires the committed-state
+    fingerprint to match an uninterrupted fault-free twin byte for byte.
+    ``corrupt`` ("envelope" | "wal") additionally flips bytes in the
+    newest envelope / WAL tail before resuming and requires recovery to
+    *detect* the damage (counted rejections/discards) and still
+    converge via one-generation fallback.  ``in_process=True`` skips the
+    fork and simply abandons the recording system mid-run — same
+    recovery path, available on platforms without ``os.fork``.
+    The run directory is deleted on success unless ``keep_dir``.
+    """
+    if isinstance(workload, str):
+        workload = KILL_RESUME_WORKLOADS[workload]
+    twin = run_case(workload, seed, None, plan_name="fault-free", reliable=False)
+    if twin.failure is not None:
+        return KillResumeResult(
+            workload.name, seed, 0, kill_frac, corrupt, None,
+            f"uninterrupted twin failed: {twin.failure}", {}, run_dir,
+        )
+    total_events = twin.stats["sim_events"]
+    durable_opts = dict(_KILL_DURABLE_OPTS)
+    if corrupt == "wal":
+        # Keep every record in wal-0 (no mid-run envelopes), so the
+        # corrupted tail is provably on the recovery replay path.
+        durable_opts["snapshot_every"] = 1_000_000_000
+    if kill_events is None:
+        if corrupt is not None:
+            # As late as possible: corruption needs sealed state to damage.
+            kill_events = max(2, total_events - 1)
+        else:
+            kill_events = max(2, int(total_events * kill_frac))
+    own_dir = run_dir is None
+    if own_dir:
+        run_dir = tempfile.mkdtemp(
+            prefix=f"hope-durable-{workload.name}-s{seed}-"
+        )
+    err_path = os.path.join(run_dir, "child-error.txt")
+    failure: Optional[str] = None
+    use_fork = hasattr(os, "fork") and not in_process
+    if use_fork:
+        pid = os.fork()
+        if pid == 0:
+            code = _KILLED_OK
+            try:
+                _run_child_until_kill(
+                    workload, seed, run_dir, kill_events, kernel, durable_opts
+                )
+            except BaseException:
+                import traceback
+
+                with open(err_path, "w", encoding="utf-8") as fh:
+                    traceback.print_exc(file=fh)
+                code = _CHILD_ERROR
+            finally:
+                # A host crash, not an exit: skip atexit/stdio/GC entirely.
+                os._exit(code)
+        _, wstatus = os.waitpid(pid, 0)
+        code = os.waitstatus_to_exitcode(wstatus)
+        if code != _KILLED_OK:
+            detail = ""
+            if os.path.exists(err_path):
+                with open(err_path, encoding="utf-8") as fh:
+                    tail = fh.read().strip().splitlines()
+                detail = tail[-1] if tail else ""
+            failure = f"child exited {code} before the kill point: {detail}"
+    else:
+        try:
+            _run_child_until_kill(
+                workload, seed, run_dir, kill_events, kernel, durable_opts
+            )
+        except Exception as exc:  # abandoned, never synced — a soft crash
+            failure = f"recording run raised: {exc!r}"
+    corrupted_path = None
+    if failure is None and corrupt is not None:
+        from .durable import corrupt_latest_envelope, corrupt_wal_tail
+
+        if corrupt == "envelope":
+            corrupted_path = corrupt_latest_envelope(run_dir)
+        elif corrupt == "wal":
+            corrupted_path = corrupt_wal_tail(run_dir)
+        else:
+            raise ValueError(f"corrupt must be 'envelope' or 'wal', got {corrupt!r}")
+        if corrupted_path is None:
+            # Nothing on disk to damage means the case proves nothing —
+            # surface that instead of green-lighting a no-op.
+            failure = (
+                f"nothing to corrupt for mode {corrupt!r} at "
+                f"kill_events={kill_events} — pick a later kill point"
+            )
+    durable_stats: dict = {}
+    if failure is None:
+        try:
+            resumed = HopeSystem.resume(
+                run_dir, workload.build, seed=seed,
+                latency=ConstantLatency(1.0), kernel=kernel,
+                fossil_collect=True, fossil_interval=_KILL_FOSSIL_INTERVAL,
+                durable_opts=dict(durable_opts),
+            )
+            resumed.run(max_events=workload.max_events)
+            durable_stats = resumed.stats()["durable"]
+            stuck = sorted(
+                name for name, proc in resumed.procs.items() if not proc.done
+            )
+            committed = committed_state(resumed)
+            if stuck:
+                failure = f"stuck processes after resume: {stuck}"
+            elif committed != twin.committed:
+                diff = sorted(
+                    name for name in set(committed) | set(twin.committed)
+                    if committed.get(name) != twin.committed.get(name)
+                )
+                failure = (
+                    f"resumed committed state diverged from twin for {diff}"
+                )
+            elif corrupted_path is not None:
+                detected = (
+                    durable_stats.get("envelopes_rejected", 0)
+                    if corrupt == "envelope"
+                    else durable_stats.get("wal_records_discarded", 0)
+                )
+                if detected <= 0:
+                    failure = (
+                        f"{corrupt} corruption was not detected by recovery "
+                        "(silent acceptance of damaged state)"
+                    )
+        except EventLimitExceeded as exc:
+            failure = f"livelock after resume: {exc}"
+        except Exception as exc:
+            failure = f"resume failed: {exc!r}"
+    if own_dir and failure is None and not keep_dir:
+        shutil.rmtree(run_dir, ignore_errors=True)
+        run_dir = None
+    return KillResumeResult(
+        workload.name, seed, kill_events, kill_frac, corrupt,
+        corrupted_path, failure, durable_stats, run_dir,
+    )
+
+
+def run_kill_resume_matrix(
+    workloads: Optional[Iterable[str]] = None,
+    seeds: Iterable[int] = (1, 2, 3),
+    fracs: Iterable[float] = KILL_FRACS,
+    *,
+    corruption_cases: bool = True,
+    kernel: str = "wheel",
+    in_process: bool = False,
+) -> dict:
+    """Sweep workloads × seeds × seeded crash points (plus one envelope-
+    and one WAL-corruption case per workload); returns a report dict."""
+    names = list(workloads) if workloads is not None else list(KILL_RESUME_WORKLOADS)
+    seeds = list(seeds)
+    fracs = list(fracs)
+    results: list[KillResumeResult] = []
+    for wname in names:
+        for seed in seeds:
+            for frac in fracs:
+                results.append(run_kill_resume_case(
+                    wname, seed, frac, kernel=kernel, in_process=in_process,
+                ))
+        if corruption_cases:
+            # Late kill points so there is sealed state to damage.
+            for mode in ("envelope", "wal"):
+                results.append(run_kill_resume_case(
+                    wname, seeds[0], max(fracs), corrupt=mode,
+                    kernel=kernel, in_process=in_process,
+                ))
+    failures = [r for r in results if not r.ok]
+    return {
+        "cases": results,
+        "total": len(results),
+        "passed": len(results) - len(failures),
+        "failures": failures,
+    }
+
+
+def format_kill_report(report: dict) -> str:
+    """Human-readable kill/resume summary (what ``chaos --kill-at`` prints)."""
+    lines = [
+        f"kill/resume matrix: {report['passed']}/{report['total']} cases passed"
+    ]
+    for result in report["cases"]:
+        ds = result.durable_stats or {}
+        mode = f"corrupt={result.corrupt}" if result.corrupt else f"frac={result.frac:g}"
+        lines.append(
+            f"  {result.workload:<7} seed={result.seed} kill@{result.kill_events:<6} "
+            f"{mode:<16} {'ok' if result.ok else 'FAIL':<4} "
+            f"gen={ds.get('resumed_generation')} "
+            f"injected={ds.get('injected_messages', 0)} "
+            f"rejected={ds.get('envelopes_rejected', 0)} "
+            f"torn={ds.get('wal_records_discarded', 0)}"
+        )
+        if not result.ok:
+            lines.append(f"        failure: {result.failure}")
+            if result.run_dir:
+                lines.append(f"        run dir kept: {result.run_dir}")
+    return "\n".join(lines)
 
 
 # ---------------------------------------------------------------------------
@@ -434,15 +749,47 @@ def write_reproducer(path: str, payload: dict) -> str:
     return path
 
 
+def load_reproducer(path: str) -> tuple[ChaosWorkload, int, Optional[FaultPlan]]:
+    """Parse and validate a reproducer file; every error names the
+    offending field so a hand-edited file fails with a pointer, not a
+    stack trace."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: expected a JSON object, got {type(payload).__name__}")
+    if "workload" not in payload:
+        raise ValueError(f"{path}: field 'workload' is missing")
+    wname = payload["workload"]
+    if wname not in WORKLOADS:
+        raise ValueError(
+            f"{path}: field 'workload': unknown workload {wname!r} "
+            f"(expected one of {sorted(WORKLOADS)})"
+        )
+    if "seed" not in payload:
+        raise ValueError(f"{path}: field 'seed' is missing")
+    seed = payload["seed"]
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        raise ValueError(
+            f"{path}: field 'seed': expected an integer, got {type(seed).__name__}"
+        )
+    plan = None
+    if payload.get("plan") is not None:
+        try:
+            plan = FaultPlan.from_dict(payload["plan"])
+        except (ValueError, TypeError, KeyError) as exc:
+            raise ValueError(f"{path}: field 'plan': {exc}") from None
+    return WORKLOADS[wname], seed, plan
+
+
 def run_reproducer(path: str) -> CaseResult:
     """Re-run a reproducer file written by :func:`run_matrix`."""
-    with open(path, "r", encoding="utf-8") as fh:
-        payload = json.load(fh)
-    workload = WORKLOADS[payload["workload"]]
-    plan = FaultPlan.from_dict(payload["plan"]) if payload.get("plan") else None
-    twin_case = run_case(workload, payload["seed"], None, plan_name="fault-free")
+    workload, seed, plan = load_reproducer(path)
+    twin_case = run_case(workload, seed, None, plan_name="fault-free")
     return run_case(
-        workload, payload["seed"], plan,
+        workload, seed, plan,
         plan_name="repro", twin=twin_case.committed,
     )
 

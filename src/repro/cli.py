@@ -236,7 +236,62 @@ def build_parser() -> argparse.ArgumentParser:
         default="summary",
         help="exporter for --metrics-out (default: summary)",
     )
+    run.add_argument(
+        "--durable-dir",
+        metavar="DIR",
+        default=None,
+        help="record sealed snapshots + an effect WAL into DIR so a killed "
+        "run can be resumed with `repro resume` (implies fossil "
+        "collection; see docs/DURABILITY.md)",
+    )
     add_fault_arguments(run)
+
+    resume = sub.add_parser(
+        "resume",
+        help="resume a durable run from its snapshot/WAL directory "
+        "(see docs/DURABILITY.md for the recovery contract)",
+    )
+    resume.add_argument("path", help="mini-HOPE source file (same program)")
+    resume.add_argument(
+        "--durable-dir",
+        metavar="DIR",
+        required=True,
+        help="the directory the interrupted run recorded into",
+    )
+    resume.add_argument(
+        "--spawn",
+        action="append",
+        type=SpawnSpec,
+        default=[],
+        metavar="instance=Process[:json_args]",
+        help="spawn flags of the original run — resume must recreate the "
+        "same process tree (repeatable, in order)",
+    )
+    resume.add_argument("--latency", type=float, default=1.0, help="network latency")
+    resume.add_argument(
+        "--seed", type=int, default=0,
+        help="root random seed (must match the recorded run)",
+    )
+    resume.add_argument(
+        "--kernel",
+        choices=["wheel", "heap", "window"],
+        default="wheel",
+        help="event-queue kernel",
+    )
+    resume.add_argument(
+        "--fossil-interval", type=int, default=64, metavar="N",
+        help="fossil-collect after every N finalizes",
+    )
+    resume.add_argument(
+        "--until", type=float, default=None, help="stop at this virtual time"
+    )
+    resume.add_argument(
+        "--max-events", type=int, default=1_000_000, help="livelock guard"
+    )
+    resume.add_argument(
+        "--trace", action="store_true",
+        help="print the post-resume event trace at the end",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -279,6 +334,20 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--failure-detector", action="store_true",
         help="also run the heartbeat failure detector in every case",
+    )
+    chaos.add_argument(
+        "--list-plans", action="store_true",
+        help="list the standard fault plans and workloads, then exit",
+    )
+    chaos.add_argument(
+        "--kill-at",
+        action="append",
+        type=float,
+        default=[],
+        metavar="FRAC",
+        help="kill/resume mode: crash a durable child at FRAC of the "
+        "twin's event count, resume, and require byte-identical "
+        "committed state (repeatable; see docs/DURABILITY.md)",
     )
 
     verify = sub.add_parser(
@@ -407,6 +476,7 @@ def cmd_run(args, out) -> int:
         failure_detector=args.failure_detector,
         backend=args.backend,
         workers=args.workers,
+        durable_dir=args.durable_dir,
     )
     for spec in args.spawn:
         compiled.spawn(system, spec.instance, spec.process, *spec.args)
@@ -480,11 +550,98 @@ def cmd_run(args, out) -> int:
     return 0
 
 
-def cmd_chaos(args, out) -> int:
-    from .chaos import format_report, run_matrix, run_reproducer
+def cmd_resume(args, out) -> int:
+    with open(args.path, encoding="utf-8") as fh:
+        source = fh.read()
+    try:
+        compiled = compile_program(source)
+    except (SyntaxError, CheckError) as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    if not args.spawn:
+        print(
+            "error: resume must recreate the original process tree — add "
+            "the run's --spawn flags",
+            file=out,
+        )
+        return 1
 
+    def build(system: HopeSystem) -> None:
+        for spec in args.spawn:
+            compiled.spawn(system, spec.instance, spec.process, *spec.args)
+
+    from .durable import DurableError
+
+    tracer = Tracer() if args.trace else None
+    try:
+        system = HopeSystem.resume(
+            args.durable_dir,
+            build,
+            seed=args.seed,
+            latency=ConstantLatency(args.latency),
+            trace=tracer,
+            kernel=args.kernel,
+            fossil_collect=True,
+            fossil_interval=args.fossil_interval,
+        )
+    except DurableError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    durable = system.stats().get("durable", {})
+    if durable.get("resumed"):
+        print(
+            f"resumed from generation {durable.get('resumed_generation')} "
+            f"at t={system.sim.now:g} "
+            f"(rejected envelopes: {durable.get('envelopes_rejected', 0)}, "
+            f"torn WAL records discarded: "
+            f"{durable.get('wal_records_discarded', 0)})",
+            file=out,
+        )
+    else:
+        print("no recoverable state found — starting fresh", file=out)
+    final = system.run(until=args.until, max_events=args.max_events)
+    print(f"finished at t={final:g}", file=out)
+    for spec in args.spawn:
+        proc = system.procs[spec.instance]
+        status = "done" if proc.done else "blocked"
+        print(f"[{spec.instance}] {status}, result={proc.result!r}", file=out)
+        for value in system.committed_outputs(spec.instance):
+            print(f"[{spec.instance}] output: {value!r}", file=out)
+    if tracer is not None:
+        print("\ntrace:", file=out)
+        print(tracer.format(), file=out)
+    return 0
+
+
+def cmd_chaos(args, out) -> int:
+    from .chaos import (
+        KILL_RESUME_WORKLOADS,
+        PLAN_DESCRIPTIONS,
+        WORKLOADS,
+        format_kill_report,
+        format_report,
+        run_kill_resume_matrix,
+        run_matrix,
+        run_reproducer,
+    )
+
+    if args.list_plans:
+        print("fault plans (the standard matrix sweeps each):", file=out)
+        for name, desc in PLAN_DESCRIPTIONS.items():
+            print(f"  {name:<11} {desc}", file=out)
+        print("\nworkloads:", file=out)
+        for name, workload in WORKLOADS.items():
+            print(f"  {name:<11} {workload.description}", file=out)
+        print("\nkill/resume workloads (--kill-at):", file=out)
+        for name, workload in KILL_RESUME_WORKLOADS.items():
+            print(f"  {name:<11} {workload.description}", file=out)
+        return 0
     if args.repro is not None:
-        result = run_reproducer(args.repro)
+        try:
+            result = run_reproducer(args.repro)
+        except ValueError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
         print(f"reproducer {args.repro}: {result!r}", file=out)
         if result.failure:
             print(f"failure: {result.failure}", file=out)
@@ -497,6 +654,22 @@ def cmd_chaos(args, out) -> int:
         print(f"error: --seeds must be comma-separated ints, got {args.seeds!r}",
               file=out)
         return 2
+    if args.kill_at:
+        workloads = args.workload or None
+        if workloads is not None:
+            unknown = sorted(set(workloads) - set(KILL_RESUME_WORKLOADS))
+            if unknown:
+                print(
+                    f"error: unknown kill/resume workload(s) {unknown} "
+                    f"(expected one of {sorted(KILL_RESUME_WORKLOADS)})",
+                    file=out,
+                )
+                return 2
+        report = run_kill_resume_matrix(
+            workloads=workloads, seeds=seeds, fracs=args.kill_at,
+        )
+        print(format_kill_report(report), file=out)
+        return 0 if not report["failures"] else 1
     report = run_matrix(
         workloads=args.workload or None,
         seeds=seeds,
@@ -578,6 +751,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return cmd_chaos(args, out)
     if args.command == "verify":
         return cmd_verify(args, out)
+    if args.command == "resume":
+        return cmd_resume(args, out)
     return cmd_run(args, out)
 
 

@@ -1,0 +1,30 @@
+"""repro.durable — sealed snapshot + effect-WAL persistence for HOPE runs.
+
+The commit frontier (PR 2) already proves which state can never roll
+back; this package makes exactly that state survive a host crash.  See
+docs/DURABILITY.md for the envelope format, the recovery contract, and
+what is deliberately *not* persisted.
+
+Entry points:
+
+* ``HopeSystem(durable_dir="run/")`` — record a run durably.
+* ``HopeSystem.resume("run/", build)`` — reload the newest verifiable
+  snapshot, replay the WAL suffix, and continue.
+* ``repro.chaos.run_kill_resume_matrix`` — kill a child process mid-run
+  at seeded points and prove the resumed committed state is byte-
+  identical to an uninterrupted twin.
+"""
+
+from .codec import DurableError, decode_value, encode_value
+from .recorder import DurableRecorder
+from .store import DurableStore, corrupt_latest_envelope, corrupt_wal_tail
+
+__all__ = [
+    "DurableError",
+    "DurableRecorder",
+    "DurableStore",
+    "corrupt_latest_envelope",
+    "corrupt_wal_tail",
+    "decode_value",
+    "encode_value",
+]

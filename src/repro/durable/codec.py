@@ -1,0 +1,60 @@
+"""Value and seal codecs for the durable store.
+
+Everything on disk is line-oriented JSON.  Scalar effect results (None,
+bool, int, float, str) are stored as raw JSON values; anything richer —
+``ReceivedMessage`` tuples, ``AidHandle``\\ s, user payloads — is pickled
+and base64-wrapped in a one-key dict, ``{"~pkl": "..."}``.  A user value
+that happens to *be* a dict is never confused with the wrapper because
+dicts are not scalars: they always go through the pickle path themselves.
+
+Integrity is layered: every WAL line carries a CRC32 of its JSON body
+(catches torn writes and bit rot), batch markers and envelopes carry an
+HMAC-SHA256 under the per-run key (catches tampering and cross-run file
+mixups).  Stdlib only — no external dependencies.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import hmac
+import pickle
+import zlib
+from typing import Any
+
+from ..core.errors import HopeError
+
+
+class DurableError(HopeError):
+    """A durable-store operation failed (corruption, bad layout, misuse)."""
+
+
+_SCALARS = (type(None), bool, int, float, str)
+_PICKLE_KEY = "~pkl"
+
+
+def encode_value(value: Any) -> Any:
+    """JSON-encodable form of an effect result / payload / state."""
+    if type(value) in _SCALARS:
+        return value
+    blob = pickle.dumps(value, protocol=4)
+    return {_PICKLE_KEY: base64.b64encode(blob).decode("ascii")}
+
+
+def decode_value(obj: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(obj, dict) and _PICKLE_KEY in obj:
+        return pickle.loads(base64.b64decode(obj[_PICKLE_KEY]))
+    return obj
+
+
+def crc_hex(data: bytes) -> str:
+    return format(zlib.crc32(data) & 0xFFFFFFFF, "08x")
+
+
+def seal_hex(key: bytes, data: bytes) -> str:
+    return hmac.new(key, data, hashlib.sha256).hexdigest()
+
+
+def seals_match(a: str, b: str) -> bool:
+    return hmac.compare_digest(a, b)

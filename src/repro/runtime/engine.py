@@ -380,6 +380,9 @@ class HopeSystem:
         transport: Optional[Callable[..., Network]] = None,
         parallel_opts: Optional[dict] = None,
         controller: Optional[Any] = None,
+        durable: bool = False,
+        durable_dir: Optional[str] = None,
+        durable_opts: Optional[dict] = None,
     ) -> None:
         self.streams = RandomStreams(seed)
         if controller is not None:
@@ -560,6 +563,40 @@ class HopeSystem:
             raise HopeError(
                 f"unknown backend {backend!r} (choose 'sim' or 'parallel')"
             )
+        #: Resume support: True while HopeSystem.resume() rebuilds the
+        #: process tree — spawns register everything but leave the initial
+        #: tasks unscheduled so restored logs replay instead.
+        self._defer_start = False
+        #: Durable persistence (repro.durable) — None keeps every hot-path
+        #: hook a single attribute test, and durable=False traces stay
+        #: byte-identical to pre-durable builds.
+        self._durable = None
+        if durable or durable_dir is not None:
+            if durable_dir is None:
+                raise HopeError("durable=True needs durable_dir= (the run directory)")
+            if backend != "sim":
+                raise HopeError("durable runs require the sim backend")
+            if self.reliable is not None or self.detector is not None:
+                raise HopeError(
+                    "durable runs do not compose with reliable delivery or "
+                    "the failure detector yet (their transport state is not "
+                    "persisted); see docs/DURABILITY.md"
+                )
+            if transport is not None or controller is not None:
+                raise HopeError(
+                    "durable runs do not compose with a custom transport or "
+                    "schedule controller"
+                )
+            if aid_mode != "registry":
+                raise HopeError("durable runs require aid_mode='registry'")
+            # The WAL is flushed from fossil-collection passes; durable
+            # without the commit frontier would persist nothing.
+            self.fossil_collect = True
+            from ..durable.recorder import DurableRecorder
+
+            self._durable = DurableRecorder(
+                self, durable_dir, seed=seed, opts=durable_opts
+            )
 
     # ------------------------------------------------------------------
     # public API
@@ -581,7 +618,8 @@ class HopeSystem:
         proc.mproc = self.machine.create_process(name)
         if self.detector is not None:
             self.detector.on_spawn(name)
-        self._start_task(proc, delay=0.0)
+        if not self._defer_start:
+            self._start_task(proc, delay=0.0)
         self.tracer.record(self.sim.now, "spawn", name)
         return proc
 
@@ -592,7 +630,73 @@ class HopeSystem:
     def _run_sim(self, until: Optional[float], max_events: Optional[int]) -> float:
         final = self.sim.run(until=until, max_events=max_events)
         self.timeline.close_all(final)
+        # Clean stop: flush the committed frontier and seal a consolidation
+        # envelope.  A crash (exception, os._exit, EventLimitExceeded)
+        # skips this on purpose — recovery then works from the last sealed
+        # batch, which is the contract under test in the kill/resume mode.
+        if self._durable is not None:
+            self._durable_sync()
         return final
+
+    @classmethod
+    def resume(cls, durable_dir: str, build: Callable[["HopeSystem"], Any],
+               *, durable_opts: Optional[dict] = None, **kwargs) -> "HopeSystem":
+        """Reload a durable run from ``durable_dir`` and continue it.
+
+        ``build(system)`` must recreate the same process tree (same
+        ``spawn`` names, bodies, and arguments) the original run started
+        with; the restored effect logs then replay each process's
+        committed prefix — replay invokes no handlers, so committed
+        effects happen exactly once across incarnations — and execution
+        continues live from the frontier.  Construction kwargs
+        (``seed``, ``latency``, ``kernel``, ``fossil_interval``, ...)
+        must match the original run; the seed is verified against the
+        envelope.  Recovery picks the newest envelope whose CRC, seal,
+        and generation chain verify, applies the WAL suffix up to its
+        last valid batch marker, and falls back one generation on a
+        torn or corrupt tail — rejections are counted in
+        ``stats()["durable"]``, never silently ignored.
+        """
+        opts = dict(durable_opts or {})
+        opts["_resuming"] = True
+        kwargs.pop("durable", None)
+        kwargs.pop("durable_dir", None)
+        system = cls(durable=True, durable_dir=durable_dir,
+                     durable_opts=opts, **kwargs)
+        recorder = system._durable
+        image = recorder.load_image()
+        if image is None:
+            # Nothing restorable (fresh directory or a crash before the
+            # first sealed batch): run from program entry, recording.
+            recorder.begin_fresh()
+            build(system)
+            return system
+        # Restore the clock first: the queue is empty, so this only
+        # advances virtual time to where the image was sealed.
+        system.sim.run(until=image["time"])
+        system._defer_start = True
+        try:
+            build(system)
+        finally:
+            system._defer_start = False
+        recorder.restore(image)
+        return system
+
+    def _durable_sync(self) -> None:
+        """Flush every process's committed frontier and seal an envelope
+        (the same frontier computation as a fossil pass, minus the
+        collection)."""
+        machine = self.machine
+        for name, proc in self.procs.items():
+            record = machine.processes.get(name)
+            frontier_log = len(proc.log)
+            if record is not None:
+                for iv in record.speculative:
+                    cp = iv.ps
+                    if isinstance(cp, Checkpoint):
+                        frontier_log = min(frontier_log, cp.log_index)
+            self._durable.flush_proc(proc, min(frontier_log, proc.log.cursor))
+        self._durable.end_pass(self.sim.now, force_snapshot=True)
 
     def aid(self, ref: AidRef) -> AssumptionId:
         """Resolve a handle/key to the underlying machine AID."""
@@ -621,6 +725,13 @@ class HopeSystem:
         dependency state, which in the paper lives in AID bookkeeping,
         not in the crashed node's volatile memory).
         """
+        if self._durable is not None:
+            raise HopeError(
+                "in-simulation crash_process() is not supported on a durable "
+                "run: a volatile log reset would desynchronize the persisted "
+                "committed prefix (use the kill/resume chaos mode for "
+                "host-crash semantics instead; see docs/DURABILITY.md)"
+            )
         proc = self.procs[name]
         if proc.task is not None and proc.task.alive:
             proc.task.kill("crash")
@@ -712,6 +823,11 @@ class HopeSystem:
                 if self.detector is not None
                 else {}
             ),
+            **(
+                {"durable": self._durable.stats_entries()}
+                if self._durable is not None
+                else {}
+            ),
         }
 
     def pending_aids(self) -> list[AssumptionId]:
@@ -801,6 +917,8 @@ class HopeSystem:
             spec.false_suspicions.set(det.false_suspicions)
             spec.detector_denies.set(det.detector_denies)
             spec.reconciled_affirms.set(det.reconciled_affirms)
+        if self._durable is not None:
+            self._durable.observe_gauges(self.metrics)
         return self.metrics
 
     def export_metrics(self, fmt: str = "summary") -> str:
@@ -911,6 +1029,11 @@ class HopeSystem:
             # behind the frontier (and behind any in-flight replay cursor)
             # and drop the entries it makes unreachable.
             target = min(frontier_log, proc.log.cursor)
+            # Durable flush first, while the entries below the frontier are
+            # still in the log: everything the prefix-drop below may
+            # reclaim has then already reached the WAL.
+            if self._durable is not None:
+                self._durable.flush_proc(proc, target)
             best: Optional[RebasePoint] = None
             for cand in proc.rebase_candidates:
                 if cand.log_index <= target and (
@@ -929,8 +1052,15 @@ class HopeSystem:
                 if proc.shadow is not None and proc.shadow.pos < proc.log.base:
                     proc.shadow.invalidate()
                     proc.shadow = None
+                if self._durable is not None:
+                    self._durable.note_promotion(proc)
             proc.track.compact_before(frontier_time)
         fossil_stats = machine.fossil_collect(self._pinned_aid_keys())
+        if self._durable is not None:
+            # Durability point: the pass's WAL records become recoverable
+            # here (sealed batch marker + fsync), and every Nth pass
+            # consolidates into a fresh envelope, rotating the WAL.
+            self._durable.end_pass(self.sim.now)
         if self._metered:
             spec = self.spec_metrics
             spec.fossil_collections.inc()
@@ -1122,6 +1252,8 @@ class HopeSystem:
             # log entry died in the truncation, so neither log nor resume.
             return
         proc.log.append(effect.kind, None)
+        if self._durable is not None:
+            self._durable.note_resolution(proc.name, proc.log.cursor - 1, aid.key)
         task.resume_now(None)
 
     def _do_send(self, proc, task, effect: SendEffect) -> None:
@@ -1144,6 +1276,10 @@ class HopeSystem:
         log = proc.log
         log.entries.append(_make_entry(("send", msg_id)))
         log.cursor += 1
+        if self._durable is not None:
+            self._durable.note_send(
+                proc.name, log.cursor - 1, msg_id, effect.dst, effect.payload, tags
+            )
         if self._tracing:
             self.tracer.record(
                 self.sim.now, "send", proc.name, dst=effect.dst, tags=len(tags)
@@ -1262,6 +1398,14 @@ class HopeSystem:
         if proc.mproc.current is not None:
             raise SpeculativeSpawnError(
                 f"{proc.name!r} tried to spawn {effect.name!r} while speculative"
+            )
+        if self._durable is not None:
+            # Replay never re-invokes handlers, so a committed spawn entry
+            # could not recreate its child at resume; durable runs must
+            # build their whole tree up front.
+            raise HopeError(
+                "dynamic p.spawn is not supported on a durable run — spawn "
+                "every process from build() (see docs/DURABILITY.md)"
             )
         self.spawn(effect.name, effect.fn, *effect.args)
         proc.log.append("spawn", effect.name)
@@ -1472,6 +1616,8 @@ class HopeSystem:
             proc.task.kill("rollback")
         proc.done = False
         proc.log.truncate(checkpoint.log_index)
+        if self._durable is not None:
+            self._durable.on_rollback(proc.name, checkpoint.log_index)
         if proc.rebase_candidates:
             # Candidates past the truncation point captured state from the
             # discarded execution; one exactly at it is still valid (its

@@ -53,6 +53,23 @@ def _check_nonneg(name: str, value: float) -> float:
     return float(value)
 
 
+def _check_keys(what: str, data: dict, allowed: Iterable[str]) -> dict:
+    """Reject unknown keys so a typo'd fault plan fails loudly instead of
+    silently running fault-free (``"drp": 0.5`` would otherwise be a
+    no-op — the worst kind of chaos-test bug)."""
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"{what}: expected a JSON object, got {type(data).__name__}"
+        )
+    allowed = tuple(allowed)
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        raise ValueError(
+            f"{what}: unknown key(s) {unknown} (allowed: {sorted(allowed)})"
+        )
+    return data
+
+
 class LinkFaults:
     """Fault parameters for one directed link (or the plan default).
 
@@ -102,7 +119,7 @@ class LinkFaults:
 
     @classmethod
     def from_dict(cls, data: dict) -> "LinkFaults":
-        return cls(**data)
+        return cls(**_check_keys("LinkFaults", data, cls.__slots__))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, LinkFaults):
@@ -180,6 +197,7 @@ class Partition:
 
     @classmethod
     def from_dict(cls, data: dict) -> "Partition":
+        _check_keys("Partition", data, cls.__slots__)
         heal_at = data.get("heal_at")
         return cls(
             data["a"],
@@ -264,10 +282,20 @@ class FaultPlan:
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultPlan":
-        links = {
-            (entry["src"], entry["dst"]): LinkFaults.from_dict(entry["faults"])
-            for entry in data.get("links", [])
-        }
+        _check_keys("FaultPlan", data, cls.__slots__)
+        links = {}
+        for index, entry in enumerate(data.get("links", [])):
+            _check_keys(
+                f"FaultPlan links[{index}]", entry, ("src", "dst", "faults")
+            )
+            missing = sorted({"src", "dst", "faults"} - set(entry))
+            if missing:
+                raise ValueError(
+                    f"FaultPlan links[{index}]: missing key(s) {missing}"
+                )
+            links[(entry["src"], entry["dst"])] = LinkFaults.from_dict(
+                entry["faults"]
+            )
         return cls(
             default=LinkFaults.from_dict(data.get("default", {})),
             links=links,

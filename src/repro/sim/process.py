@@ -122,6 +122,12 @@ class _TimedOut:
     def __bool__(self) -> bool:
         return False
 
+    def __reduce__(self):
+        # Pickle resolves the string to this module's attribute, so a
+        # round-tripped sentinel (e.g. a durable log entry) keeps its
+        # ``is TIMED_OUT`` identity instead of minting a second instance.
+        return "TIMED_OUT"
+
 
 TIMED_OUT = _TimedOut()
 

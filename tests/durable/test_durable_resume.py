@@ -1,0 +1,288 @@
+"""Crash–restart recovery end to end: kill a durable run, resume it, and
+require the committed state to reconverge byte-identically with an
+uninterrupted twin (the durable extension of the paper's twin-equality
+property — a crash is just more network/scheduling weather, and Theorem
+6.1 says the finalized prefix can never roll back, so it must survive).
+
+Also covers: recording passivity (durable tracing changes no trace
+byte), the commit_point × fossil_collect restart edges (base-aware
+snapshots, EffectLog ``base`` accounting across the roundtrip),
+corruption detection with one-generation fallback, and the constructor
+guardrails.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.workloads import build_durable_counter
+from repro.chaos import (
+    KILL_RESUME_WORKLOADS,
+    run_kill_resume_case,
+    run_kill_resume_matrix,
+)
+from repro.durable import DurableError
+from repro.core.errors import HopeError
+from repro.runtime import HopeSystem
+from repro.sim import ConstantLatency, EventLimitExceeded, Tracer
+
+
+def _durable_kwargs(run_dir, **extra):
+    kwargs = dict(
+        seed=1,
+        latency=ConstantLatency(1.0),
+        fossil_collect=True,
+        fossil_interval=4,
+        durable_dir=str(run_dir),
+        durable_opts={"snapshot_every": 1},
+    )
+    kwargs.update(extra)
+    return kwargs
+
+
+def _resume(run_dir, build=build_durable_counter, **extra):
+    kwargs = _durable_kwargs(run_dir, **extra)
+    kwargs.pop("durable_dir")
+    opts = kwargs.pop("durable_opts")
+    return HopeSystem.resume(str(run_dir), build, durable_opts=opts, **kwargs)
+
+
+def _committed(system):
+    return {
+        name: tuple(sorted(repr(v) for v in system.committed_outputs(name)))
+        for name in system.procs
+    }
+
+
+# ------------------------------------------------------- recording passivity
+class TestRecordingIsPassive:
+    def test_durable_trace_is_byte_identical_to_plain_fossil_run(self, tmp_path):
+        """The recorder only *observes* the committed frontier: same seed,
+        same workload, same trace fingerprint with recording on or off."""
+        def run(durable_dir):
+            tracer = Tracer()
+            kwargs = dict(
+                seed=3, latency=ConstantLatency(1.0), trace=tracer,
+                fossil_collect=True, fossil_interval=4,
+            )
+            if durable_dir is not None:
+                kwargs.update(
+                    durable_dir=str(durable_dir),
+                    durable_opts={"snapshot_every": 1},
+                )
+            system = HopeSystem(**kwargs)
+            build_durable_counter(system)
+            final = system.run()
+            return tracer.fingerprint(), final, _committed(system)
+
+        plain = run(None)
+        durable = run(tmp_path)
+        assert durable == plain
+
+
+# ------------------------------------------------------------- clean restart
+class TestCleanRestart:
+    def test_completed_run_resumes_to_same_state(self, tmp_path):
+        system = HopeSystem(**_durable_kwargs(tmp_path))
+        build_durable_counter(system)
+        system.run()
+        want = _committed(system)
+        resumed = _resume(tmp_path)
+        resumed.run()
+        assert _committed(resumed) == want
+        stats = resumed.stats()["durable"]
+        assert stats["resumed"] is True
+        assert stats["resumed_generation"] >= 1
+
+    def test_resume_on_empty_dir_starts_fresh(self, tmp_path):
+        system = _resume(tmp_path)
+        assert system.stats()["durable"]["resumed"] is False
+        system.run()
+        # ... and the fresh run is just a normal durable run.
+        assert system.stats()["durable"]["snapshots_written"] >= 1
+
+
+# ---------------------------------------------------------- kill/resume core
+class TestKillResume:
+    @pytest.mark.parametrize("workload", ["mesh", "counter"])
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    @pytest.mark.parametrize("frac", [0.25, 0.55, 0.85])
+    def test_resumed_state_matches_uninterrupted_twin(self, workload, seed, frac):
+        result = run_kill_resume_case(workload, seed, frac, in_process=True)
+        assert result.ok, result.failure
+
+    @pytest.mark.parametrize("frac", [0.55, 0.85])
+    def test_ring_kill_points(self, frac):
+        result = run_kill_resume_case("ring", 5, frac, in_process=True)
+        assert result.ok, result.failure
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="needs os.fork")
+    @pytest.mark.parametrize("workload,frac", [("counter", 0.55), ("mesh", 0.85)])
+    def test_real_process_death(self, workload, frac):
+        """The fork path: the child dies by ``os._exit`` with no cleanup —
+        buffered-but-unflushed WAL bytes really are lost."""
+        result = run_kill_resume_case(workload, 2, frac)
+        assert result.ok, result.failure
+
+    def test_matrix_helper_reports_counts(self):
+        report = run_kill_resume_matrix(
+            workloads=["counter"], seeds=(1,), fracs=(0.55,),
+            corruption_cases=False, in_process=True,
+        )
+        assert report["total"] == 1
+        assert report["passed"] == 1
+        assert report["failures"] == []
+
+    def test_all_kill_resume_workloads_registered(self):
+        assert set(KILL_RESUME_WORKLOADS) >= {"mesh", "ring", "counter"}
+
+
+# ---------------------------------------------------- corruption + fallback
+class TestCorruptionFallback:
+    def test_envelope_corruption_is_detected_and_survived(self):
+        result = run_kill_resume_case(
+            "counter", 1, 0.85, corrupt="envelope", in_process=True
+        )
+        assert result.ok, result.failure
+        assert result.corrupted_path is not None
+        assert result.durable_stats["envelopes_rejected"] >= 1
+
+    def test_wal_corruption_is_detected_and_survived(self):
+        result = run_kill_resume_case(
+            "counter", 1, 0.85, corrupt="wal", in_process=True
+        )
+        assert result.ok, result.failure
+        assert result.corrupted_path is not None
+        assert result.durable_stats["wal_records_discarded"] >= 1
+
+    def test_bad_corrupt_mode_raises(self):
+        with pytest.raises(ValueError, match="envelope.*wal"):
+            run_kill_resume_case("counter", 1, 0.85, corrupt="bitrot",
+                                 in_process=True)
+
+
+# -------------------------------------- commit_point × fossil restart edges
+class TestFossilRestartEdges:
+    def _kill_and_resume(self, tmp_path, kill_events):
+        system = HopeSystem(**_durable_kwargs(tmp_path))
+        build_durable_counter(system)
+        with pytest.raises(EventLimitExceeded):
+            system.run(max_events=kill_events)
+        del system          # abandoned mid-run: the in-process "crash"
+        return _resume(tmp_path)
+
+    def test_resume_lands_on_base_aware_snapshot(self, tmp_path):
+        """A late kill resumes from a snapshot whose logs were already
+        fossil-trimmed: some process restarts with ``log.base > 0`` and a
+        rebase point, not from program entry."""
+        resumed = self._kill_and_resume(tmp_path, kill_events=29)
+        assert resumed.stats()["durable"]["resumed"] is True
+        bases = {name: proc.log.base for name, proc in resumed.procs.items()}
+        assert any(base > 0 for base in bases.values()), bases
+        rebased = [p for p in resumed.procs.values() if p.rebase is not None]
+        assert rebased, "expected at least one restored rebase point"
+
+    def test_effectlog_base_accounting_survives_roundtrip(self, tmp_path):
+        """The absolute-index invariant ``cursor == base + len(entries)``
+        must hold for every restored log before the run continues, and
+        the continued run must still converge."""
+        resumed = self._kill_and_resume(tmp_path, kill_events=29)
+        for name, proc in resumed.procs.items():
+            log = proc.log
+            # Restored logs rewind to the absolute base: the committed
+            # entries sit *ahead* of the cursor, queued for replay.
+            assert log.cursor == log.base, name
+        resumed.run()
+        for name, proc in resumed.procs.items():
+            log = proc.log
+            # ... and once live, the absolute-index invariant is back.
+            assert log.cursor == log.base + len(log.entries), name
+        # Converged: same committed state as a never-interrupted run.
+        twin = HopeSystem(seed=1, latency=ConstantLatency(1.0),
+                          fossil_collect=True, fossil_interval=4)
+        build_durable_counter(twin)
+        twin.run()
+        assert _committed(resumed) == _committed(twin)
+
+    def test_mid_fossil_cycle_snapshot_counts_consistent(self, tmp_path):
+        resumed = self._kill_and_resume(tmp_path, kill_events=29)
+        stats = resumed.stats()["durable"]
+        assert stats["resumed"] is True
+        # The consolidation snapshot at restore is a *new* generation on
+        # top of the one recovery loaded.
+        assert stats["generation"] > stats["resumed_generation"]
+
+
+# -------------------------------------------------------------- guardrails
+class TestGuardrails:
+    def test_durable_needs_a_directory(self):
+        with pytest.raises(HopeError, match="durable_dir"):
+            HopeSystem(seed=1, latency=ConstantLatency(1.0), durable=True)
+
+    def test_no_reliable_delivery(self, tmp_path):
+        with pytest.raises(HopeError, match="reliable"):
+            HopeSystem(seed=1, latency=ConstantLatency(1.0),
+                       reliable=True, durable_dir=str(tmp_path))
+
+    def test_no_failure_detector(self, tmp_path):
+        with pytest.raises(HopeError, match="failure detector"):
+            HopeSystem(seed=1, latency=ConstantLatency(1.0),
+                       failure_detector=True, durable_dir=str(tmp_path))
+
+    def test_registry_mode_only(self, tmp_path):
+        with pytest.raises(HopeError, match="registry"):
+            HopeSystem(seed=1, latency=ConstantLatency(1.0),
+                       aid_mode="aid_task", durable_dir=str(tmp_path))
+
+    def test_crash_process_refused(self, tmp_path):
+        system = HopeSystem(**_durable_kwargs(tmp_path))
+        build_durable_counter(system)
+        with pytest.raises(HopeError, match="kill/resume"):
+            system.crash_process("judge")
+
+    def test_dynamic_spawn_refused(self, tmp_path):
+        def parent(p):
+            yield p.spawn("kid", child)
+            yield p.emit("spawned")
+
+        def child(p):
+            yield p.emit("hi")
+
+        system = HopeSystem(**_durable_kwargs(tmp_path))
+        system.spawn("parent", parent)
+        with pytest.raises(HopeError, match="spawn"):
+            system.run()
+
+    def test_fresh_init_on_used_dir_refused(self, tmp_path):
+        system = HopeSystem(**_durable_kwargs(tmp_path))
+        build_durable_counter(system)
+        system.run()
+        with pytest.raises(DurableError, match="resume"):
+            HopeSystem(**_durable_kwargs(tmp_path))
+
+    def test_seed_mismatch_refused_at_resume(self, tmp_path):
+        system = HopeSystem(**_durable_kwargs(tmp_path))
+        build_durable_counter(system)
+        system.run()
+        with pytest.raises(DurableError, match="seed"):
+            _resume(tmp_path, seed=99)
+
+    def test_missing_process_at_resume_names_it(self, tmp_path):
+        system = HopeSystem(**_durable_kwargs(tmp_path))
+        build_durable_counter(system)
+        system.run()
+
+        def wrong_build(sys_):
+            build_durable_counter(sys_, workers=1)   # c1 missing
+
+        with pytest.raises(DurableError, match="c1"):
+            _resume(tmp_path, build=wrong_build)
+
+    def test_unknown_durable_opt_rejected(self, tmp_path):
+        with pytest.raises((DurableError, TypeError, ValueError),
+                           match="snapshot_evry|unknown"):
+            HopeSystem(
+                seed=1, latency=ConstantLatency(1.0),
+                durable_dir=str(tmp_path),
+                durable_opts={"snapshot_evry": 2},
+            )

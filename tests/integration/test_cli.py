@@ -331,3 +331,87 @@ def test_verify_random_mode():
     code, out = run_cli(["verify", "--mode", "random", "--runs", "10"])
     assert code == 0
     assert "10 runs, 0 failing" in out
+
+
+# ----------------------------------------------------- durable runs (CLI)
+FIG2_SPAWNS = [
+    "--spawn", "server=Server:[60]",
+    "--spawn", "worrywart=WorryWart:[60]",
+    "--spawn", "worker=Worker:[10]",
+]
+
+
+def test_run_durable_then_resume_completed(tmp_path):
+    code, out = run_cli(
+        ["run", FIGURE2, *FIG2_SPAWNS, "--latency", "10",
+         "--durable-dir", str(tmp_path)]
+    )
+    assert code == 0
+    assert (tmp_path / "key.bin").exists()
+    assert list(tmp_path.glob("snap-*.env")), "expected a sealed snapshot"
+    code, out = run_cli(
+        ["resume", FIGURE2, "--durable-dir", str(tmp_path),
+         *FIG2_SPAWNS, "--latency", "10"]
+    )
+    assert code == 0
+    assert "resumed from generation" in out
+    assert "'Summary ...', 11" in out      # committed outputs preserved
+
+
+def test_resume_empty_dir_starts_fresh(tmp_path):
+    code, out = run_cli(
+        ["resume", FIGURE2, "--durable-dir", str(tmp_path / "empty"),
+         *FIG2_SPAWNS, "--latency", "10"]
+    )
+    assert code == 0
+    assert "starting fresh" in out
+    assert "result='report-complete'" in out
+
+
+def test_resume_requires_spawns(tmp_path):
+    code, out = run_cli(
+        ["resume", FIGURE2, "--durable-dir", str(tmp_path)]
+    )
+    assert code == 1
+    assert "--spawn" in out
+
+
+def test_chaos_list_plans():
+    code, out = run_cli(["chaos", "--list-plans"])
+    assert code == 0
+    assert "drop-light" in out and "storm" in out
+    assert "kill/resume workloads" in out and "counter" in out
+
+
+def test_chaos_kill_at_matrix():
+    code, out = run_cli(
+        ["chaos", "--kill-at", "0.55", "--workload", "counter",
+         "--seeds", "1"]
+    )
+    assert code == 0
+    assert "kill/resume matrix:" in out
+    assert "corrupt=envelope" in out and "corrupt=wal" in out
+
+
+def test_chaos_kill_at_unknown_workload():
+    code, out = run_cli(
+        ["chaos", "--kill-at", "0.5", "--workload", "nope", "--seeds", "1"]
+    )
+    assert code == 2
+    assert "nope" in out
+
+
+def test_chaos_repro_names_offending_field(tmp_path):
+    import json
+
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"workload": "mesh", "seed": 1,
+                               "plan": {"default": {"drp": 0.5}}}))
+    code, out = run_cli(["chaos", "--repro", str(bad)])
+    assert code == 2
+    assert "field 'plan'" in out and "drp" in out
+
+    bad.write_text(json.dumps({"seed": 1}))
+    code, out = run_cli(["chaos", "--repro", str(bad)])
+    assert code == 2
+    assert "field 'workload' is missing" in out

@@ -1,0 +1,80 @@
+"""Strict fault-plan deserialization (ISSUE satellite): a typo'd key in a
+hand-edited reproducer must fail loudly with the offending and allowed
+keys named — a silently ignored ``"drp": 0.5`` would run fault-free and
+green-light a chaos case that tested nothing.
+"""
+
+import pytest
+
+from repro.sim import FaultPlan, LinkFaults, Partition
+
+
+class TestLinkFaultsStrict:
+    def test_unknown_key_rejected_with_names(self):
+        with pytest.raises(ValueError) as exc:
+            LinkFaults.from_dict({"drp": 0.5})
+        msg = str(exc.value)
+        assert "drp" in msg and "drop" in msg and "jitter" in msg
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError, match="expected a JSON object"):
+            LinkFaults.from_dict([0.5])
+
+    def test_valid_keys_still_roundtrip(self):
+        lf = LinkFaults(drop=0.1, reorder=0.2, reorder_window=3.0)
+        assert LinkFaults.from_dict(lf.to_dict()) == lf
+
+
+class TestPartitionStrict:
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError) as exc:
+            Partition.from_dict({"a": ["x"], "b": ["y"], "begin": 3})
+        msg = str(exc.value)
+        assert "begin" in msg and "start" in msg and "heal_at" in msg
+
+    def test_valid_roundtrip(self):
+        part = Partition(("x",), ("y",), start=2.0, heal_at=9.0)
+        assert Partition.from_dict(part.to_dict()) == part
+
+
+class TestFaultPlanStrict:
+    def test_top_level_unknown_key_rejected(self):
+        with pytest.raises(ValueError) as exc:
+            FaultPlan.from_dict({"default": {}, "linkz": []})
+        assert "linkz" in str(exc.value)
+
+    def test_link_entry_unknown_key_rejected_with_index(self):
+        data = {
+            "links": [
+                {"src": "a", "dst": "b", "faults": {}},
+                {"src": "a", "dst": "b", "faultz": {}},
+            ]
+        }
+        with pytest.raises(ValueError) as exc:
+            FaultPlan.from_dict(data)
+        msg = str(exc.value)
+        assert "links[1]" in msg and "faultz" in msg
+
+    def test_link_entry_missing_key_rejected(self):
+        with pytest.raises(ValueError, match=r"links\[0\].*missing.*faults"):
+            FaultPlan.from_dict({"links": [{"src": "a", "dst": "b"}]})
+
+    def test_nested_linkfaults_typo_surfaces(self):
+        with pytest.raises(ValueError, match="drp"):
+            FaultPlan.from_dict({"default": {"drp": 0.5}})
+
+    def test_nested_partition_typo_surfaces(self):
+        data = {"partitions": [{"a": ["x"], "b": ["y"], "heals_at": 5}]}
+        with pytest.raises(ValueError, match="heals_at"):
+            FaultPlan.from_dict(data)
+
+    def test_full_plan_roundtrip_unchanged(self):
+        plan = FaultPlan(
+            default=LinkFaults(drop=0.1),
+            links={("a", "b"): LinkFaults(jitter=2.0)},
+            partitions=(Partition(("a",), ("b",), start=1.0, heal_at=4.0),),
+        )
+        loaded = FaultPlan.from_dict(plan.to_dict())
+        assert loaded.default == plan.default
+        assert loaded.links == plan.links
+        assert loaded.partitions == plan.partitions
